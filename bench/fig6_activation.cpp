@@ -1,0 +1,114 @@
+// Figure 6: impact of the overflow activation function f on routing quality.
+//
+// For each activation in {ReLU, sigmoid, LeakyReLU, exp, CELU} and a small
+// hyper-parameter grid, run DGR end-to-end (train, extract, maze refine,
+// layer assign) on two congested cases and report one scatter point per run:
+//   x = 0.5 * WL + 4 * #vias
+//   y = weighted overflow = 10*n1 + 1000*n2 + 10000*peak_overflow
+// where n1 = # nets with overflow after layer assignment, n2 = # overflowed
+// g-cell edges after global routing (the paper's y-axis definition).
+// The CUGR2-lite point is printed as the reference mark (the red X).
+
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dgr;
+
+struct PointMetrics {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+PointMetrics score(const eval::RouteSolution& sol, const std::vector<float>& cap) {
+  const eval::Metrics m = eval::compute_metrics(sol, cap);
+  const post::LayerAssignment la = post::assign_layers(sol, cap);
+  PointMetrics pt;
+  pt.x = 0.5 * static_cast<double>(m.wirelength) + 4.0 * static_cast<double>(la.via_count);
+  pt.y = 10.0 * static_cast<double>(la.nets_with_overflow) +
+         1000.0 * static_cast<double>(m.overflow_edges) + 10000.0 * m.peak_overflow;
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dgr;
+  bench::begin_bench("Figure 6 — overflow activation study",
+                     "DGR paper Fig. 6 (DAC'24); generated congested cases");
+
+  const int iters = std::max(100, bench::dgr_iterations() / 2);
+  auto presets = design::table2_presets(bench::bench_scale());
+  // The paper plots ispd18_5m and ispd19_7m; same positions in our ladder.
+  const std::vector<std::size_t> case_ids = {0, 3};
+
+  const ad::Activation acts[] = {ad::Activation::kReLU, ad::Activation::kSigmoid,
+                                 ad::Activation::kLeakyReLU, ad::Activation::kExp,
+                                 ad::Activation::kCELU};
+  const double lrs[] = {0.1, 0.3};
+  const std::uint64_t seeds[] = {1, 2};
+
+  for (const std::size_t ci : case_ids) {
+    const auto& preset = presets[ci];
+    const design::Design d = design::generate_ispd_like(preset, /*seed=*/606);
+    const auto cap = d.capacities();
+    const dag::DagForest forest = dag::DagForest::build(d, {});
+
+    std::cout << "--- case " << preset.name << " (" << preset.num_nets << " nets, "
+              << d.grid().width() << "x" << d.grid().height() << ") ---\n";
+    eval::TablePrinter table({"activation", "lr", "seed", "0.5*WL + 4*Via",
+                              "weighted overflow"});
+
+    // Reference mark: CUGR2-lite.
+    {
+      routers::Cugr2Lite baseline(d, cap);
+      const PointMetrics pt = score(baseline.route(), cap);
+      table.add_row({"CUGR2-lite (X)", "-", "-", eval::fmt_double(pt.x, 0),
+                     eval::fmt_double(pt.y, 0)});
+    }
+    table.add_separator();
+
+    struct Best {
+      double y = 1e300;
+      double x = 0.0;
+    };
+    std::map<std::string, Best> best_per_act;
+
+    for (const ad::Activation act : acts) {
+      for (const double lr : lrs) {
+        for (const std::uint64_t seed : seeds) {
+          core::DgrConfig config;
+          config.activation = act;
+          config.learning_rate = lr;
+          config.seed = seed;
+          config.iterations = iters;
+          config.temperature_interval = std::max(1, iters / 10);
+          core::DgrSolver solver(forest, cap, config);
+          solver.train();
+          eval::RouteSolution sol = solver.extract();
+          post::maze_refine(sol, cap);
+          const PointMetrics pt = score(sol, cap);
+          table.add_row({ad::activation_name(act), eval::fmt_double(lr, 2),
+                         eval::fmt_int(static_cast<std::int64_t>(seed)),
+                         eval::fmt_double(pt.x, 0), eval::fmt_double(pt.y, 0)});
+          auto& best = best_per_act[ad::activation_name(act)];
+          if (pt.y < best.y || (pt.y == best.y && pt.x < best.x)) best = {pt.y, pt.x};
+        }
+      }
+    }
+    table.print(std::cout);
+
+    std::cout << "best weighted overflow per activation:";
+    for (const auto& [name, best] : best_per_act) {
+      std::cout << "  " << name << "=" << eval::fmt_double(best.y, 0);
+    }
+    std::cout << "\n\n";
+  }
+
+  std::cout << "Paper claim to check: the activation choice moves the overflow axis\n"
+            << "substantially and sigmoid gives the best (lowest) weighted overflow,\n"
+            << "beating the CUGR2 mark on most runs.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) of the ad:: kernels and of a full DGR
+// training iteration — the per-iteration cost that Figure 5a's runtime curve
+// is built from.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <memory>
+
+#include "dgr/dgr.hpp"
+
+namespace {
+
+using namespace dgr;
+
+std::vector<float> randu(util::Rng& rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const std::vector<float> x = randu(rng, n);
+  std::vector<std::int32_t> offsets;  // groups of 2 (L-shape pairs)
+  for (std::size_t i = 0; i <= n; i += 2) offsets.push_back(static_cast<std::int32_t>(i));
+  for (auto _ : state) {
+    ad::Tape tape;
+    const ad::NodeId in = tape.input(x);
+    benchmark::DoNotOptimize(ad::segment_softmax(tape, in, offsets, 1.0f));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+struct SolverFixture {
+  std::unique_ptr<design::Design> design;
+  std::vector<float> cap;
+  std::unique_ptr<dag::DagForest> forest;
+  std::unique_ptr<core::DgrSolver> solver;
+
+  explicit SolverFixture(int nets) {
+    util::LogSilencer quiet;
+    design::IspdLikeParams p;
+    p.num_nets = nets;
+    const int g = std::max(16, static_cast<int>(std::sqrt(nets) * 1.6));
+    p.grid_w = p.grid_h = g;
+    p.layers = 5;
+    design = std::make_unique<design::Design>(design::generate_ispd_like(p, 9090));
+    cap = design->capacities();
+    forest = std::make_unique<dag::DagForest>(dag::DagForest::build(*design, {}));
+    solver = std::make_unique<core::DgrSolver>(*forest, cap, core::DgrConfig{});
+  }
+};
+
+void BM_DgrTrainStep(benchmark::State& state) {
+  SolverFixture fx(static_cast<int>(state.range(0)));
+  int iteration = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.solver->train_step(iteration++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.forest->paths().size()));
+  state.counters["paths"] = static_cast<double>(fx.forest->paths().size());
+}
+BENCHMARK(BM_DgrTrainStep)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+void BM_ForestBuild(benchmark::State& state) {
+  util::LogSilencer quiet;
+  design::IspdLikeParams p;
+  p.num_nets = static_cast<int>(state.range(0));
+  const int g = std::max(16, static_cast<int>(std::sqrt(p.num_nets) * 1.6));
+  p.grid_w = p.grid_h = g;
+  const design::Design d = design::generate_ispd_like(p, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag::DagForest::build(d, {}));
+  }
+}
+BENCHMARK(BM_ForestBuild)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractTopP(benchmark::State& state) {
+  SolverFixture fx(static_cast<int>(state.range(0)));
+  for (int i = 0; i < 20; ++i) fx.solver->train_step(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.solver->extract());
+  }
+}
+BENCHMARK(BM_ExtractTopP)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_RsmtBuilder(benchmark::State& state) {
+  util::Rng rng(5);
+  const auto pins_count = static_cast<std::size_t>(state.range(0));
+  std::vector<geom::Point> pins;
+  for (std::size_t i = 0; i < pins_count; ++i) {
+    pins.push_back({static_cast<geom::Coord>(rng.uniform_int(0, 200)),
+                    static_cast<geom::Coord>(rng.uniform_int(0, 200))});
+  }
+  const rsmt::RsmtBuilder builder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(pins));
+  }
+}
+BENCHMARK(BM_RsmtBuilder)->Arg(3)->Arg(8)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Table 3: DGR vs SPRoute-lite (SPRoute 2.0 stand-in) and the Lagrangian
+// router (Yao [13] stand-in) on the ispd18_test1..test10 ladder.
+//
+// Columns: # overflowed g-cell edges, total wirelength, # vias per router.
+// Ratio rows are sum(router)/sum(DGR), matching the paper's convention.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dgr;
+  bench::begin_bench(
+      "Table 3 — comparison with SPRoute-lite and the Lagrangian router",
+      "DGR paper Table 3 (DAC'24); generated ispd18-like ladder, see EXPERIMENTS.md");
+
+  const int iters = bench::dgr_iterations();
+  const auto presets = design::table3_presets(bench::bench_scale());
+
+  eval::TablePrinter table({"Benchmark", "ovf SPR", "ovf Lag", "ovf DGR", "WL SPR",
+                            "WL Lag", "WL DGR", "Via SPR", "Via Lag", "Via DGR"});
+
+  double sum_wl[3] = {0, 0, 0}, sum_via[3] = {0, 0, 0}, sum_ovf[3] = {0, 0, 0};
+
+  for (const auto& preset : presets) {
+    const design::Design d = design::generate_ispd_like(preset, /*seed=*/1818);
+    const auto cap = d.capacities();
+
+    auto measure = [&](eval::RouteSolution sol, int idx, eval::Metrics* m,
+                       std::int64_t* vias) {
+      *m = eval::compute_metrics(sol, cap);
+      *vias = post::assign_layers(sol, cap).via_count;
+      sum_ovf[idx] += static_cast<double>(m->overflow_edges);
+      sum_wl[idx] += static_cast<double>(m->wirelength);
+      sum_via[idx] += static_cast<double>(*vias);
+    };
+
+    eval::Metrics spr{}, lag{}, dgr_m{};
+    std::int64_t spr_v = 0, lag_v = 0, dgr_v = 0;
+
+    routers::SpRouteLite sproute(d, cap);
+    measure(sproute.route(), 0, &spr, &spr_v);
+
+    routers::LagrangianRouter lagr(d, cap);
+    measure(lagr.route(), 1, &lag, &lag_v);
+
+    const dag::DagForest forest = dag::DagForest::build(d, {});
+    core::DgrConfig config;
+    config.iterations = iters;
+    config.temperature_interval = std::max(1, iters / 10);
+    core::DgrSolver solver(forest, cap, config);
+    solver.train();
+    eval::RouteSolution dsol = solver.extract();
+    post::maze_refine(dsol, cap);
+    measure(std::move(dsol), 2, &dgr_m, &dgr_v);
+
+    table.add_row({preset.name, eval::fmt_int(spr.overflow_edges),
+                   eval::fmt_int(lag.overflow_edges), eval::fmt_int(dgr_m.overflow_edges),
+                   eval::fmt_int(spr.wirelength), eval::fmt_int(lag.wirelength),
+                   eval::fmt_int(dgr_m.wirelength), eval::fmt_int(spr_v),
+                   eval::fmt_int(lag_v), eval::fmt_int(dgr_v)});
+  }
+
+  table.add_separator();
+  auto ratio = [](double a, double b) {
+    return b > 0.0 ? eval::fmt_ratio(a / b) : std::string("-");
+  };
+  table.add_row({"Ratio (vs DGR)", ratio(sum_ovf[0], sum_ovf[2]),
+                 ratio(sum_ovf[1], sum_ovf[2]), "1.0000", ratio(sum_wl[0], sum_wl[2]),
+                 ratio(sum_wl[1], sum_wl[2]), "1.0000", ratio(sum_via[0], sum_via[2]),
+                 ratio(sum_via[1], sum_via[2]), "1.0000"});
+  table.print(std::cout);
+  std::cout << "\nPaper claim to check: all routers reach (near-)zero overflow on this\n"
+            << "ladder while DGR's wirelength ratio is the lowest (paper: SPRoute 1.0408,\n"
+            << "Yao 1.0220 vs DGR 1.0) with vias comparable (1.0254 / 1.0176).\n";
+  return 0;
+}

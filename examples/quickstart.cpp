@@ -1,0 +1,66 @@
+// Quickstart: the minimal end-to-end DGR flow.
+//
+//   1. build (or load) a routing problem: a g-cell grid plus nets,
+//   2. construct the routing DAG forest (tree + path candidates),
+//   3. train the differentiable solver,
+//   4. extract a discrete 2D solution and post-process it to 3D,
+//   5. report quality metrics.
+//
+// Build & run:  cmake --build build --target example_quickstart &&
+//               ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "dgr/dgr.hpp"
+
+int main() {
+  using namespace dgr;
+  util::set_log_level(util::LogLevel::kWarn);
+
+  // 1. A small synthetic design: 32x32 g-cells, 5 metal layers, 400 nets
+  //    with a couple of congestion hot-spots (ISPD-contest flavoured).
+  design::IspdLikeParams params;
+  params.name = "quickstart";
+  params.grid_w = params.grid_h = 32;
+  params.num_nets = 400;
+  params.layers = 5;
+  params.tracks_per_layer = 4;
+  const design::Design design = design::generate_ispd_like(params, /*seed=*/42);
+
+  // Per-edge 2D capacities from Eq. (1): tracks - beta*pin_density - local nets.
+  const std::vector<float> capacities = design.capacities();
+  std::printf("design: %zu nets (%zu routable), grid %dx%d, %d layers\n",
+              design.net_count(), design.routable_nets().size(), design.grid().width(),
+              design.grid().height(), design.grid().layer_count());
+
+  // 2. The routing DAG forest: per net, FLUTE-like RSMT + congestion-shifted
+  //    tree candidates; per 2-pin sub-net, the L-shape path candidates.
+  const dag::DagForest forest = dag::DagForest::build(design);
+  std::printf("forest: %zu tree candidates, %zu sub-nets, %zu path candidates\n",
+              forest.trees().size(), forest.subnets().size(), forest.paths().size());
+
+  // 3. Differentiable optimisation (Gumbel-softmax relaxation + Adam).
+  core::DgrConfig config;           // paper defaults: sigmoid, lr 0.3, 1000 iters
+  config.iterations = 400;          // quickstart-sized
+  config.temperature_interval = 40;
+  core::DgrSolver solver(forest, capacities, config);
+  const core::TrainStats stats = solver.train();
+  std::printf("trained %d iterations in %.2fs, final expected cost %.1f\n",
+              stats.iterations_run, stats.train_seconds, stats.final_cost.total);
+
+  // 4. Discrete extraction (argmax trees, top-p paths) + maze refinement +
+  //    DP layer assignment.
+  eval::RouteSolution solution = solver.extract();
+  post::maze_refine(solution, capacities);
+  const post::LayerAssignment layers = post::assign_layers(solution, capacities);
+
+  // 5. Quality report.
+  const eval::Metrics m = eval::compute_metrics(solution, capacities);
+  std::printf("\nresults:\n");
+  std::printf("  connected        : %s\n", solution.connects_all_pins() ? "yes" : "NO");
+  std::printf("  overflowed edges : %lld\n", static_cast<long long>(m.overflow_edges));
+  std::printf("  total overflow   : %.2f\n", m.total_overflow);
+  std::printf("  wirelength       : %lld\n", static_cast<long long>(m.wirelength));
+  std::printf("  vias (3D)        : %lld\n", static_cast<long long>(layers.via_count));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Router comparison: runs every global router in this repo — DGR and the
+// three baseline families (CUGR2-lite, SPRoute-lite, Lagrangian) — on the
+// same generated design and prints a side-by-side quality/runtime table.
+//
+// Usage: example_router_comparison [num_nets] [grid] [seed]
+
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+
+#include "dgr/dgr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dgr;
+  util::set_log_level(util::LogLevel::kWarn);
+
+  const int nets = argc > 1 ? std::atoi(argv[1]) : 800;
+  const int grid = argc > 2 ? std::atoi(argv[2]) : 28;
+  const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 7;
+
+  design::IspdLikeParams params;
+  params.name = "compare";
+  params.grid_w = params.grid_h = grid;
+  params.num_nets = nets;
+  params.layers = 5;
+  params.tracks_per_layer = 3;
+  params.hotspot_affinity = 0.55;
+  const design::Design design = design::generate_ispd_like(params, seed);
+  const std::vector<float> cap = design.capacities();
+
+  std::printf("design: %d nets on %dx%d, 5 layers (seed %llu)\n\n", nets, grid, grid,
+              static_cast<unsigned long long>(seed));
+
+  eval::TablePrinter table(
+      {"router", "ovf edges", "total ovf", "WL", "vias", "time (s)"});
+
+  auto report = [&](const std::string& name, eval::RouteSolution sol, double secs) {
+    const eval::Metrics m = eval::compute_metrics(sol, cap);
+    const post::LayerAssignment la = post::assign_layers(sol, cap);
+    table.add_row({name, eval::fmt_int(m.overflow_edges),
+                   eval::fmt_double(m.total_overflow, 1), eval::fmt_int(m.wirelength),
+                   eval::fmt_int(la.via_count), eval::fmt_double(secs, 2)});
+  };
+
+  {
+    util::Timer t;
+    routers::Cugr2Lite router(design, cap);
+    report("CUGR2-lite (sequential DP+RRR)", router.route(), t.seconds());
+  }
+  {
+    util::Timer t;
+    routers::SpRouteLite router(design, cap);
+    report("SPRoute-lite (PathFinder maze)", router.route(), t.seconds());
+  }
+  {
+    util::Timer t;
+    routers::LagrangianRouter router(design, cap);
+    report("Lagrangian (priced shortest paths)", router.route(), t.seconds());
+  }
+  {
+    util::Timer t;
+    const dag::DagForest forest = dag::DagForest::build(design);
+    core::DgrConfig config;
+    config.iterations = 600;
+    config.temperature_interval = 60;
+    core::DgrSolver solver(forest, cap, config);
+    solver.train();
+    eval::RouteSolution sol = solver.extract();
+    post::maze_refine(sol, cap);
+    report("DGR (differentiable, concurrent)", std::move(sol), t.seconds());
+  }
+
+  table.print(std::cout);
+  return 0;
+}

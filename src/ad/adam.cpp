@@ -1,0 +1,34 @@
+#include "ad/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace dgr::ad {
+
+Adam::Adam(std::size_t size, AdamConfig config)
+    : config_(config), m_(size, 0.0), v_(size, 0.0) {}
+
+void Adam::step(std::vector<float>& params, const std::vector<double>& grads) {
+  if (params.size() != m_.size() || grads.size() != m_.size()) {
+    throw std::invalid_argument("Adam::step: size mismatch");
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  util::parallel_for_blocked(
+      0, params.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          m_[i] = config_.beta1 * m_[i] + (1.0 - config_.beta1) * grads[i];
+          v_[i] = config_.beta2 * v_[i] + (1.0 - config_.beta2) * grads[i] * grads[i];
+          const double m_hat = m_[i] / bc1;
+          const double v_hat = v_[i] / bc2;
+          params[i] -= static_cast<float>(config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps));
+        }
+      },
+      4096);
+}
+
+}  // namespace dgr::ad

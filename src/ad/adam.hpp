@@ -1,0 +1,35 @@
+#pragma once
+// Adam optimizer (Kingma & Ba) over a flat parameter vector — the paper
+// optimizes the trainable logits w with Adam at learning rate 0.3.
+
+#include <cstdint>
+#include <vector>
+
+namespace dgr::ad {
+
+struct AdamConfig {
+  double lr = 0.3;  ///< paper default for DGR
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+class Adam {
+ public:
+  Adam(std::size_t size, AdamConfig config = {});
+
+  /// Applies one update: params -= lr * m_hat / (sqrt(v_hat) + eps).
+  void step(std::vector<float>& params, const std::vector<double>& grads);
+
+  std::int64_t iteration() const { return t_; }
+  const AdamConfig& config() const { return config_; }
+  void set_learning_rate(double lr) { config_.lr = lr; }
+
+ private:
+  AdamConfig config_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace dgr::ad

@@ -1,0 +1,40 @@
+#include "ad/gradcheck.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dgr::ad {
+
+GradCheckResult grad_check(const std::function<double(const std::vector<float>&)>& f,
+                           const std::vector<float>& x0,
+                           const std::vector<double>& analytic_grad, double h, double atol,
+                           double rtol) {
+  if (x0.size() != analytic_grad.size()) {
+    throw std::invalid_argument("grad_check: size mismatch");
+  }
+  GradCheckResult result;
+  result.ok = true;
+  std::vector<float> x = x0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float orig = x[i];
+    x[i] = static_cast<float>(orig + h);
+    const double fp = f(x);
+    x[i] = static_cast<float>(orig - h);
+    const double fm = f(x);
+    x[i] = orig;
+    const double numeric = (fp - fm) / (2.0 * h);
+    const double ana = analytic_grad[i];
+    const double abs_err = std::abs(numeric - ana);
+    const double scale = std::max(std::abs(numeric), std::abs(ana));
+    const double rel_err = scale > 0.0 ? abs_err / scale : 0.0;
+    if (abs_err > result.max_abs_err) {
+      result.max_abs_err = abs_err;
+      result.worst_index = i;
+    }
+    result.max_rel_err = std::max(result.max_rel_err, rel_err);
+    if (abs_err > atol + rtol * scale) result.ok = false;
+  }
+  return result;
+}
+
+}  // namespace dgr::ad

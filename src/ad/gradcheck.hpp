@@ -1,0 +1,25 @@
+#pragma once
+// Finite-difference gradient checking, used by the ad test suite to verify
+// every op (and the full DGR forward) against central differences.
+
+#include <functional>
+#include <vector>
+
+namespace dgr::ad {
+
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::size_t worst_index = 0;
+  bool ok = false;
+};
+
+/// f maps a parameter vector to a scalar; analytic_grad is the gradient under
+/// test at `x0`. Central differences with step h; an entry passes when
+/// |num - ana| <= atol + rtol * max(|num|, |ana|).
+GradCheckResult grad_check(const std::function<double(const std::vector<float>&)>& f,
+                           const std::vector<float>& x0,
+                           const std::vector<double>& analytic_grad, double h = 1e-3,
+                           double atol = 1e-4, double rtol = 5e-3);
+
+}  // namespace dgr::ad

@@ -1,0 +1,326 @@
+#include "ad/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/parallel.hpp"
+
+namespace dgr::ad {
+namespace {
+
+constexpr std::size_t kParGrain = 2048;
+
+}  // namespace
+
+NodeId segment_softmax(Tape& tape, NodeId x, const std::vector<std::int32_t>& offsets,
+                       float temperature, const std::vector<float>* noise) {
+  if (offsets.size() < 2) throw std::invalid_argument("segment_softmax: no groups");
+  if (temperature <= 0.0f) throw std::invalid_argument("segment_softmax: t must be > 0");
+  const std::size_t n = tape.size(x);
+  if (static_cast<std::size_t>(offsets.back()) != n) {
+    throw std::invalid_argument("segment_softmax: offsets do not cover x");
+  }
+  if (noise != nullptr && noise->size() != n) {
+    throw std::invalid_argument("segment_softmax: noise size mismatch");
+  }
+
+  NodeId out = tape.make_node(n);
+  {
+    const std::vector<float>& xv = tape.value(x);
+    std::vector<float>& yv = tape.mutable_value(out);
+    const std::size_t groups = offsets.size() - 1;
+    util::parallel_for(
+        0, groups,
+        [&](std::size_t g) {
+          const auto lo = static_cast<std::size_t>(offsets[g]);
+          const auto hi = static_cast<std::size_t>(offsets[g + 1]);
+          if (lo == hi) return;
+          float mx = -1e30f;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const float logit = (xv[i] + (noise != nullptr ? (*noise)[i] : 0.0f)) / temperature;
+            yv[i] = logit;  // stage logits in the output buffer
+            mx = std::max(mx, logit);
+          }
+          double denom = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const float e = std::exp(yv[i] - mx);
+            yv[i] = e;
+            denom += e;
+          }
+          const float inv = static_cast<float>(1.0 / denom);
+          for (std::size_t i = lo; i < hi; ++i) yv[i] *= inv;
+        },
+        /*grain=*/256);
+  }
+
+  tape.record([&tape, x, out, &offsets, temperature] {
+    const std::vector<float>& yv = tape.value(out);
+    const std::vector<double>& gy = tape.grad(out);
+    std::vector<double>& gx = tape.mutable_grad(x);
+    const std::size_t groups = offsets.size() - 1;
+    util::parallel_for(
+        0, groups,
+        [&](std::size_t g) {
+          const auto lo = static_cast<std::size_t>(offsets[g]);
+          const auto hi = static_cast<std::size_t>(offsets[g + 1]);
+          if (lo == hi) return;
+          // d x_k = y_k/t * (g_k - Σ_j g_j y_j)
+          double dot = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) dot += gy[i] * yv[i];
+          const double inv_t = 1.0 / temperature;
+          for (std::size_t i = lo; i < hi; ++i) {
+            gx[i] += yv[i] * inv_t * (gy[i] - dot);
+          }
+        },
+        /*grain=*/256);
+  });
+  return out;
+}
+
+NodeId gather_mul(Tape& tape, NodeId q, const std::vector<std::int32_t>& index, NodeId p) {
+  const std::size_t n = tape.size(p);
+  if (index.size() != n) throw std::invalid_argument("gather_mul: index size mismatch");
+
+  NodeId out = tape.make_node(n);
+  {
+    const std::vector<float>& qv = tape.value(q);
+    const std::vector<float>& pv = tape.value(p);
+    std::vector<float>& yv = tape.mutable_value(out);
+    util::parallel_for_blocked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            yv[i] = qv[static_cast<std::size_t>(index[i])] * pv[i];
+          }
+        },
+        kParGrain);
+  }
+
+  tape.record([&tape, q, p, out, &index, n] {
+    const std::vector<float>& qv = tape.value(q);
+    const std::vector<float>& pv = tape.value(p);
+    const std::vector<double>& gy = tape.grad(out);
+    std::vector<double>& gq = tape.mutable_grad(q);
+    std::vector<double>& gp = tape.mutable_grad(p);
+    util::parallel_for_blocked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            gp[i] += gy[i] * qv[static_cast<std::size_t>(index[i])];
+          }
+        },
+        kParGrain);
+    // q is scattered into from many paths; a serial loop keeps the
+    // accumulation deterministic (index runs are contiguous per tree anyway).
+    for (std::size_t i = 0; i < n; ++i) {
+      gq[static_cast<std::size_t>(index[i])] += gy[i] * pv[i];
+    }
+  });
+  return out;
+}
+
+NodeId spmv(Tape& tape, NodeId x, const SparseIncidence& inc) {
+  const std::size_t rows = inc.fwd_offsets->size() - 1;
+  const std::size_t xs = tape.size(x);
+  if (inc.bwd_offsets->size() != xs + 1) {
+    throw std::invalid_argument("spmv: transpose rows != x size");
+  }
+  if (inc.fwd_cols->size() != inc.fwd_weights->size() ||
+      inc.bwd_cols->size() != inc.bwd_weights->size() ||
+      inc.fwd_cols->size() != inc.bwd_cols->size()) {
+    throw std::invalid_argument("spmv: CSR arrays inconsistent");
+  }
+
+  NodeId out = tape.make_node(rows);
+  {
+    const std::vector<float>& xv = tape.value(x);
+    std::vector<float>& yv = tape.mutable_value(out);
+    const auto& off = *inc.fwd_offsets;
+    const auto& cols = *inc.fwd_cols;
+    const auto& w = *inc.fwd_weights;
+    util::parallel_for_blocked(
+        0, rows,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t r = lo; r < hi; ++r) {
+            double acc = 0.0;
+            for (std::uint32_t k = off[r]; k < off[r + 1]; ++k) {
+              acc += static_cast<double>(w[k]) * xv[static_cast<std::size_t>(cols[k])];
+            }
+            yv[r] = static_cast<float>(acc);
+          }
+        },
+        /*grain=*/512);
+  }
+
+  tape.record([&tape, x, out, inc, xs] {
+    const std::vector<double>& gy = tape.grad(out);
+    std::vector<double>& gx = tape.mutable_grad(x);
+    const auto& off = *inc.bwd_offsets;
+    const auto& cols = *inc.bwd_cols;
+    const auto& w = *inc.bwd_weights;
+    util::parallel_for_blocked(
+        0, xs,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            double acc = 0.0;
+            for (std::uint32_t k = off[i]; k < off[i + 1]; ++k) {
+              acc += static_cast<double>(w[k]) * gy[static_cast<std::size_t>(cols[k])];
+            }
+            gx[i] += acc;
+          }
+        },
+        /*grain=*/512);
+  });
+  return out;
+}
+
+NodeId sub_const(Tape& tape, NodeId x, const std::vector<float>& c) {
+  const std::size_t n = tape.size(x);
+  if (c.size() != n) throw std::invalid_argument("sub_const: size mismatch");
+  NodeId out = tape.make_node(n);
+  {
+    const std::vector<float>& xv = tape.value(x);
+    std::vector<float>& yv = tape.mutable_value(out);
+    util::parallel_for_blocked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) yv[i] = xv[i] - c[i];
+        },
+        kParGrain);
+  }
+  tape.record([&tape, x, out, n] {
+    const std::vector<double>& gy = tape.grad(out);
+    std::vector<double>& gx = tape.mutable_grad(x);
+    util::parallel_for_blocked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) gx[i] += gy[i];
+        },
+        kParGrain);
+  });
+  return out;
+}
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kReLU: return "ReLU";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kLeakyReLU: return "LeakyReLU";
+    case Activation::kExp: return "exp";
+    case Activation::kCELU: return "CELU";
+  }
+  return "?";
+}
+
+NodeId apply_activation(Tape& tape, NodeId x, Activation act, float alpha) {
+  const std::size_t n = tape.size(x);
+  NodeId out = tape.make_node(n);
+
+  auto fwd = [act, alpha](float v) -> float {
+    switch (act) {
+      case Activation::kReLU:
+        return v > 0.0f ? v : 0.0f;
+      case Activation::kSigmoid:
+        return 1.0f / (1.0f + std::exp(-v));
+      case Activation::kLeakyReLU:
+        return v > 0.0f ? v : alpha * 0.01f * v;
+      case Activation::kExp:
+        return std::exp(std::min(v, 30.0f));
+      case Activation::kCELU:
+        return v > 0.0f ? v : alpha * (std::exp(std::min(v, 30.0f) / alpha) - 1.0f);
+    }
+    return 0.0f;
+  };
+  // Derivative expressed from input v and output y (cheap for sigmoid/exp).
+  auto deriv = [act, alpha](float v, float y) -> double {
+    switch (act) {
+      case Activation::kReLU:
+        return v > 0.0f ? 1.0 : 0.0;
+      case Activation::kSigmoid:
+        return static_cast<double>(y) * (1.0 - y);
+      case Activation::kLeakyReLU:
+        return v > 0.0f ? 1.0 : alpha * 0.01;
+      case Activation::kExp:
+        return v < 30.0f ? static_cast<double>(y) : 0.0;
+      case Activation::kCELU:
+        return v > 0.0f ? 1.0 : std::exp(std::min(v, 30.0f) / alpha);
+    }
+    return 0.0;
+  };
+
+  {
+    const std::vector<float>& xv = tape.value(x);
+    std::vector<float>& yv = tape.mutable_value(out);
+    util::parallel_for_blocked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) yv[i] = fwd(xv[i]);
+        },
+        kParGrain);
+  }
+  tape.record([&tape, x, out, n, deriv] {
+    const std::vector<float>& xv = tape.value(x);
+    const std::vector<float>& yv = tape.value(out);
+    const std::vector<double>& gy = tape.grad(out);
+    std::vector<double>& gx = tape.mutable_grad(x);
+    util::parallel_for_blocked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) gx[i] += gy[i] * deriv(xv[i], yv[i]);
+        },
+        kParGrain);
+  });
+  return out;
+}
+
+NodeId weighted_sum(Tape& tape, NodeId x, const std::vector<float>& w) {
+  const std::size_t n = tape.size(x);
+  if (!w.empty() && w.size() != n) throw std::invalid_argument("weighted_sum: size mismatch");
+  NodeId out = tape.make_node(1);
+  {
+    const std::vector<float>& xv = tape.value(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += static_cast<double>(xv[i]) * (w.empty() ? 1.0 : w[i]);
+    tape.mutable_value(out)[0] = static_cast<float>(acc);
+  }
+  // The weight vector is copied into the closure: callers often pass
+  // temporaries and the backward pass runs long after this call returns.
+  tape.record([&tape, x, out, n, w] {
+    const double g = tape.grad(out)[0];
+    std::vector<double>& gx = tape.mutable_grad(x);
+    util::parallel_for_blocked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) gx[i] += g * (w.empty() ? 1.0 : w[i]);
+        },
+        kParGrain);
+  });
+  return out;
+}
+
+NodeId combine(Tape& tape, const std::vector<NodeId>& scalars,
+               const std::vector<float>& coefs) {
+  if (scalars.size() != coefs.size() || scalars.empty()) {
+    throw std::invalid_argument("combine: size mismatch");
+  }
+  NodeId out = tape.make_node(1);
+  {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < scalars.size(); ++k) {
+      if (tape.size(scalars[k]) != 1) throw std::invalid_argument("combine: non-scalar input");
+      acc += static_cast<double>(coefs[k]) * tape.value(scalars[k])[0];
+    }
+    tape.mutable_value(out)[0] = static_cast<float>(acc);
+  }
+  tape.record([&tape, scalars, coefs, out] {
+    const double g = tape.grad(out)[0];
+    for (std::size_t k = 0; k < scalars.size(); ++k) {
+      tape.mutable_grad(scalars[k])[0] += g * coefs[k];
+    }
+  });
+  return out;
+}
+
+}  // namespace dgr::ad

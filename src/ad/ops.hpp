@@ -1,0 +1,66 @@
+#pragma once
+// Differentiable operations on Tape arrays — exactly the kernel set DGR's
+// forward pass (Fig. 4 of the paper) needs.
+//
+// Group structure (subnets over paths, nets over trees) is expressed with
+// CSR-style offset arrays; sparse incidence (paths <-> g-cell edges) with a
+// forward CSR and its transpose so both directions are deterministic
+// parallel loops over rows they own.
+
+#include <cstdint>
+#include <vector>
+
+#include "ad/tape.hpp"
+
+namespace dgr::ad {
+
+// LIFETIME CONTRACT: offset/index/CSR arrays passed by reference or pointer
+// (segment_softmax offsets, gather_mul index, SparseIncidence arrays) are
+// captured by reference in the recorded backward closures and MUST outlive
+// the Tape. weighted_sum's weight vector is copied and may be a temporary.
+
+/// Softmax within each group g over [offsets[g], offsets[g+1]):
+///   y_i = exp((x_i + noise_i)/t) / Σ_group exp((x_k + noise_k)/t)
+/// `noise` (optional, same size as x) carries Gumbel samples; with noise and
+/// t=1 this is the Gumbel-Softmax of the paper, without noise a plain
+/// softmax. Numerically stabilised by per-group max subtraction.
+NodeId segment_softmax(Tape& tape, NodeId x, const std::vector<std::int32_t>& offsets,
+                       float temperature, const std::vector<float>* noise = nullptr);
+
+/// out[i] = q[index[i]] * p[i] — the y_tree(i) * x_i coupling of Eqs. (4)-(6).
+NodeId gather_mul(Tape& tape, NodeId q, const std::vector<std::int32_t>& index, NodeId p);
+
+/// Sparse weighted reduction with an explicit transpose:
+///   out[r] = Σ_{k in [fwd_offsets[r], fwd_offsets[r+1])} fwd_weights[k] * x[fwd_cols[k]]
+/// Backward uses the transpose CSR (rows = x entries, cols = out rows):
+///   gx[i] = Σ_{k in [bwd_offsets[i], bwd_offsets[i+1])} bwd_weights[k] * gout[bwd_cols[k]]
+/// The caller must supply a genuine transpose pair (checked in debug builds).
+struct SparseIncidence {
+  const std::vector<std::uint32_t>* fwd_offsets = nullptr;
+  const std::vector<std::int32_t>* fwd_cols = nullptr;
+  const std::vector<float>* fwd_weights = nullptr;
+  const std::vector<std::uint32_t>* bwd_offsets = nullptr;
+  const std::vector<std::int32_t>* bwd_cols = nullptr;
+  const std::vector<float>* bwd_weights = nullptr;
+};
+NodeId spmv(Tape& tape, NodeId x, const SparseIncidence& inc);
+
+/// out = x - c (elementwise with a constant vector): demand - capacity.
+NodeId sub_const(Tape& tape, NodeId x, const std::vector<float>& c);
+
+/// The overflow activations studied in Fig. 6 of the paper.
+enum class Activation { kReLU, kSigmoid, kLeakyReLU, kExp, kCELU };
+const char* activation_name(Activation a);
+
+/// Elementwise activation. `alpha` parameterises LeakyReLU slope / CELU
+/// alpha; ignored by the others. Exp is clamped at x <= 30 for stability.
+NodeId apply_activation(Tape& tape, NodeId x, Activation act, float alpha = 1.0f);
+
+/// Scalar Σ_i w_i * x_i (pass empty w for a plain sum). Accumulates in double.
+NodeId weighted_sum(Tape& tape, NodeId x, const std::vector<float>& w = {});
+
+/// Scalar linear combination Σ_k coef_k * scalar_k of scalar nodes.
+NodeId combine(Tape& tape, const std::vector<NodeId>& scalars,
+               const std::vector<float>& coefs);
+
+}  // namespace dgr::ad

@@ -1,0 +1,49 @@
+#include "ad/tape.hpp"
+
+#include <stdexcept>
+
+namespace dgr::ad {
+
+std::size_t Tape::check(NodeId id) const {
+  if (!id.valid() || static_cast<std::size_t>(id.idx) >= nodes_.size()) {
+    throw std::out_of_range("Tape: invalid NodeId");
+  }
+  return static_cast<std::size_t>(id.idx);
+}
+
+NodeId Tape::input(const std::vector<float>& value) {
+  return input(value.data(), value.size());
+}
+
+NodeId Tape::input(const float* data, std::size_t size) {
+  NodeId id = make_node(size);
+  std::copy(data, data + size, nodes_.back().value.begin());
+  return id;
+}
+
+NodeId Tape::make_node(std::size_t size) {
+  Node node;
+  node.value.assign(size, 0.0f);
+  node.grad.assign(size, 0.0);
+  nodes_.push_back(std::move(node));
+  return NodeId{static_cast<std::int32_t>(nodes_.size() - 1)};
+}
+
+void Tape::backward(NodeId root) {
+  const std::size_t r = check(root);
+  if (nodes_[r].value.size() != 1) {
+    throw std::invalid_argument("Tape::backward: root must be scalar");
+  }
+  nodes_[r].grad[0] = 1.0;
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) (*it)();
+}
+
+std::size_t Tape::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const Node& n : nodes_) {
+    bytes += n.value.capacity() * sizeof(float) + n.grad.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace dgr::ad

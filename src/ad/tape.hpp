@@ -1,0 +1,64 @@
+#pragma once
+// Tape-based reverse-mode automatic differentiation over flat float arrays.
+//
+// This is the deep-learning-toolkit substrate of the paper (PyTorch in the
+// original): DGR's forward cost is assembled from the ops in ad/ops.hpp on a
+// Tape; Tape::backward() replays the recorded ops in reverse to produce
+// gradients for the Adam optimizer. A "tensor" here is a 1-D float array —
+// all of DGR's state (path logits, tree logits, demand map) is naturally
+// flat, and group structure is carried by offset arrays, not shapes.
+//
+// Gradients accumulate in double precision: the demand reductions sum up to
+// millions of terms and float accumulation visibly degrades Adam steps.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dgr::ad {
+
+struct NodeId {
+  std::int32_t idx = -1;
+  bool valid() const { return idx >= 0; }
+};
+
+class Tape {
+ public:
+  /// Creates a leaf node holding a copy of `value`.
+  NodeId input(const std::vector<float>& value);
+  /// Creates a leaf from raw data.
+  NodeId input(const float* data, std::size_t size);
+
+  const std::vector<float>& value(NodeId id) const { return nodes_[check(id)].value; }
+  const std::vector<double>& grad(NodeId id) const { return nodes_[check(id)].grad; }
+  std::size_t size(NodeId id) const { return nodes_[check(id)].value.size(); }
+
+  /// Seeds d(root)/d(root) = 1 (root must be a scalar, i.e. size 1) and runs
+  /// every recorded op's backward in reverse order.
+  void backward(NodeId root);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Bytes held by node values+grads (Fig. 5b "GPU memory" proxy).
+  std::size_t memory_bytes() const;
+
+  // ---- op-author interface (used by ops.cpp) ------------------------------
+  NodeId make_node(std::size_t size);
+  std::vector<float>& mutable_value(NodeId id) { return nodes_[check(id)].value; }
+  std::vector<double>& mutable_grad(NodeId id) { return nodes_[check(id)].grad; }
+  /// Registers a backward closure; closures run in reverse registration order.
+  void record(std::function<void()> backward_fn) { ops_.push_back(std::move(backward_fn)); }
+
+ private:
+  struct Node {
+    std::vector<float> value;
+    std::vector<double> grad;
+  };
+
+  std::size_t check(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::function<void()>> ops_;
+};
+
+}  // namespace dgr::ad

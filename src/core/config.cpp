@@ -1,0 +1,19 @@
+#include "core/config.hpp"
+
+#include <cstdio>
+
+namespace dgr::core {
+
+std::string describe(const DgrConfig& config) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "DGR(act=%s, iters=%d, lr=%.3g, t0=%.2f, decay=%.2f/%d, gumbel=%d, "
+                "top_p=%.2f, seed=%llu)",
+                ad::activation_name(config.activation), config.iterations,
+                config.learning_rate, config.initial_temperature, config.temperature_decay,
+                config.temperature_interval, config.use_gumbel ? 1 : 0, config.top_p,
+                static_cast<unsigned long long>(config.seed));
+  return buf;
+}
+
+}  // namespace dgr::core

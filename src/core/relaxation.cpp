@@ -1,0 +1,54 @@
+#include "core/relaxation.hpp"
+
+#include <cassert>
+
+namespace dgr::core {
+
+Relaxation Relaxation::build(const dag::DagForest& forest) {
+  Relaxation r;
+  r.forest = &forest;
+
+  const auto& subnets = forest.subnets();
+  const auto& paths = forest.paths();
+
+  r.path_group_offsets.reserve(subnets.size() + 1);
+  r.path_group_offsets.push_back(0);
+  for (const dag::Subnet& s : subnets) {
+    // Pools are built in order, so path slices are contiguous.
+    assert(s.path_begin == r.path_group_offsets.back());
+    r.path_group_offsets.push_back(s.path_end);
+  }
+  assert(static_cast<std::size_t>(r.path_group_offsets.back()) == paths.size());
+
+  r.tree_group_offsets = forest.net_tree_offsets();
+
+  r.path_tree.reserve(paths.size());
+  r.path_inc_offsets.reserve(paths.size() + 1);
+  r.wirelength.reserve(paths.size());
+  r.turns.reserve(paths.size());
+  for (const dag::PathCandidate& p : paths) {
+    r.path_tree.push_back(p.tree);
+    r.path_inc_offsets.push_back(p.inc_begin);
+    r.wirelength.push_back(p.wirelength);
+    r.turns.push_back(static_cast<float>(p.turns));
+  }
+  r.path_inc_offsets.push_back(static_cast<std::uint32_t>(forest.inc_edges().size()));
+
+  r.incidence.fwd_offsets = &forest.edge_inc_offsets();
+  r.incidence.fwd_cols = &forest.edge_inc_paths();
+  r.incidence.fwd_weights = &forest.edge_inc_weights();
+  r.incidence.bwd_offsets = &r.path_inc_offsets;
+  r.incidence.bwd_cols = &forest.inc_edges();
+  r.incidence.bwd_weights = &forest.inc_weights();
+  return r;
+}
+
+std::size_t Relaxation::memory_bytes() const {
+  return path_group_offsets.capacity() * sizeof(std::int32_t) +
+         tree_group_offsets.capacity() * sizeof(std::int32_t) +
+         path_tree.capacity() * sizeof(std::int32_t) +
+         path_inc_offsets.capacity() * sizeof(std::uint32_t) +
+         wirelength.capacity() * sizeof(float) + turns.capacity() * sizeof(float);
+}
+
+}  // namespace dgr::core

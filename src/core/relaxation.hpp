@@ -1,0 +1,43 @@
+#pragma once
+// Continuous relaxation plumbing (Section 4.3): flattens the DAG forest's
+// grouping and incidence into the arrays the ad:: kernels consume. Built
+// once per forest; owned by the solver so the Tape's by-reference captures
+// stay valid.
+
+#include <cstdint>
+#include <vector>
+
+#include "ad/ops.hpp"
+#include "dag/forest.hpp"
+
+namespace dgr::core {
+
+struct Relaxation {
+  const dag::DagForest* forest = nullptr;
+
+  /// Paths grouped by subnet: softmax groups for p (Eq. 7). Size |S|+1.
+  std::vector<std::int32_t> path_group_offsets;
+  /// Trees grouped by net: softmax groups for q (Eq. 8). Size |N|+1.
+  std::vector<std::int32_t> tree_group_offsets;
+  /// Owning tree-candidate index per path (the gather of q_tree(i)). Size |P|.
+  std::vector<std::int32_t> path_tree;
+  /// Transposed-incidence row offsets per path. Size |P|+1.
+  std::vector<std::uint32_t> path_inc_offsets;
+
+  /// WL_i per path (Eq. 4) and TP_i per path (Eq. 5). Size |P|.
+  std::vector<float> wirelength;
+  std::vector<float> turns;
+
+  /// Wired to the forest's CSR pair; rows = g-cell edges.
+  ad::SparseIncidence incidence;
+
+  std::size_t path_count() const { return path_tree.size(); }
+  std::size_t tree_count() const { return forest->trees().size(); }
+  std::size_t subnet_count() const { return path_group_offsets.size() - 1; }
+
+  static Relaxation build(const dag::DagForest& forest);
+
+  std::size_t memory_bytes() const;
+};
+
+}  // namespace dgr::core

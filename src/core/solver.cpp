@@ -1,0 +1,159 @@
+#include "core/solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace dgr::core {
+
+DgrSolver::DgrSolver(const dag::DagForest& forest, std::vector<float> capacities,
+                     DgrConfig config)
+    : forest_(forest),
+      relax_(Relaxation::build(forest)),
+      capacities_(std::move(capacities)),
+      config_(config),
+      params_(relax_.path_count() + relax_.tree_count(), 0.0f),
+      adam_(params_.size(), ad::AdamConfig{config.learning_rate, 0.9, 0.999, 1e-8}),
+      rng_(config.seed) {
+  if (capacities_.size() != static_cast<std::size_t>(forest.design().grid().edge_count())) {
+    throw std::invalid_argument("DgrSolver: capacity vector size mismatch");
+  }
+  via_cost_scale_ =
+      std::sqrt(static_cast<float>(forest.design().grid().layer_count()));
+  // Random logit initialisation ("w is initialized randomly", Section 5).
+  util::Rng init = rng_.fork(0xC0FFEE);
+  for (float& w : params_) {
+    w = static_cast<float>(init.normal()) * config_.init_logit_std;
+  }
+}
+
+float DgrSolver::temperature_at(int iteration) const {
+  const int decays = config_.temperature_interval > 0
+                         ? iteration / config_.temperature_interval
+                         : 0;
+  return config_.initial_temperature *
+         std::pow(config_.temperature_decay, static_cast<float>(decays));
+}
+
+DgrSolver::Forward DgrSolver::build_forward(ad::Tape& tape, float temperature,
+                                            const std::vector<float>* path_noise,
+                                            const std::vector<float>* tree_noise) const {
+  const std::size_t np = relax_.path_count();
+  const std::size_t nt = relax_.tree_count();
+
+  Forward fw;
+  fw.path_logits = tape.input(params_.data(), np);
+  fw.tree_logits = tape.input(params_.data() + np, nt);
+
+  // p = gumbel_softmax(w_path) over subnet groups; q over net groups.
+  const ad::NodeId p =
+      ad::segment_softmax(tape, fw.path_logits, relax_.path_group_offsets, temperature,
+                          path_noise);
+  const ad::NodeId q =
+      ad::segment_softmax(tape, fw.tree_logits, relax_.tree_group_offsets, temperature,
+                          tree_noise);
+
+  // eff_i = q_tree(i) * p_i — joint selection mass of path i.
+  const ad::NodeId eff = ad::gather_mul(tape, q, relax_.path_tree, p);
+
+  // Expected demand (Eq. 10): weighted scatter of eff over crossed edges
+  // (weights already include the beta/2 via charges).
+  const ad::NodeId demand = ad::spmv(tape, eff, relax_.incidence);
+
+  // overflow_cost = Σ_e f(d_e - cap_e) (Eq. 9).
+  const ad::NodeId slack = ad::sub_const(tape, demand, capacities_);
+  const ad::NodeId overflow_vec =
+      ad::apply_activation(tape, slack, config_.activation, config_.activation_alpha);
+  const ad::NodeId overflow = ad::weighted_sum(tape, overflow_vec);
+
+  // wirelength_cost = Σ eff_i WL_i (Eq. 11); via_cost = √L Σ eff_i TP_i (Eq. 12).
+  const ad::NodeId wl = ad::weighted_sum(tape, eff, relax_.wirelength);
+  const ad::NodeId via = ad::weighted_sum(tape, eff, relax_.turns);
+
+  fw.cost = ad::combine(tape, {overflow, via, wl},
+                        {config_.weight_overflow, config_.weight_via * via_cost_scale_,
+                         config_.weight_wirelength});
+
+  fw.breakdown.overflow = tape.value(overflow)[0];
+  fw.breakdown.wirelength = tape.value(wl)[0];
+  fw.breakdown.via = static_cast<double>(via_cost_scale_) * tape.value(via)[0];
+  fw.breakdown.total = tape.value(fw.cost)[0];
+  return fw;
+}
+
+double DgrSolver::train_step(int iteration) {
+  const float t = temperature_at(iteration);
+  const std::size_t np = relax_.path_count();
+  const std::size_t nt = relax_.tree_count();
+
+  std::vector<float> path_noise, tree_noise;
+  if (config_.use_gumbel) {
+    util::Rng noise_rng = rng_.fork(0x6E015E ^ static_cast<std::uint64_t>(iteration));
+    path_noise.resize(np);
+    tree_noise.resize(nt);
+    for (float& g : path_noise) g = static_cast<float>(noise_rng.gumbel());
+    for (float& g : tree_noise) g = static_cast<float>(noise_rng.gumbel());
+  }
+
+  ad::Tape tape;
+  const Forward fw = build_forward(tape, t, config_.use_gumbel ? &path_noise : nullptr,
+                                   config_.use_gumbel ? &tree_noise : nullptr);
+  tape.backward(fw.cost);
+  peak_tape_bytes_ = std::max(peak_tape_bytes_, tape.memory_bytes());
+
+  // Concatenate gradients and take one Adam step over all logits.
+  std::vector<double> grads(params_.size());
+  {
+    const auto& gp = tape.grad(fw.path_logits);
+    const auto& gt = tape.grad(fw.tree_logits);
+    std::copy(gp.begin(), gp.end(), grads.begin());
+    std::copy(gt.begin(), gt.end(), grads.begin() + static_cast<std::ptrdiff_t>(np));
+  }
+  adam_.step(params_, grads);
+  return fw.breakdown.total;
+}
+
+TrainStats DgrSolver::train() {
+  TrainStats stats;
+  util::Timer timer;
+  if (config_.record_history) stats.cost_history.reserve(static_cast<std::size_t>(config_.iterations));
+  for (int it = 0; it < config_.iterations; ++it) {
+    const double cost = train_step(it);
+    if (config_.record_history) stats.cost_history.push_back(cost);
+    if ((it + 1) % 100 == 0) {
+      DGR_LOG_DEBUG("iter %d/%d cost=%.4f t=%.3f", it + 1, config_.iterations, cost,
+                    temperature_at(it));
+    }
+  }
+  stats.iterations_run = config_.iterations;
+  stats.train_seconds = timer.seconds();
+  stats.final_cost = evaluate(temperature_at(config_.iterations - 1));
+  stats.tape_bytes = peak_tape_bytes_;
+  return stats;
+}
+
+CostBreakdown DgrSolver::evaluate(float temperature) const {
+  ad::Tape tape;
+  return build_forward(tape, temperature, nullptr, nullptr).breakdown;
+}
+
+std::vector<float> DgrSolver::path_probs(float temperature) const {
+  ad::Tape tape;
+  const ad::NodeId logits = tape.input(params_.data(), relax_.path_count());
+  const ad::NodeId p =
+      ad::segment_softmax(tape, logits, relax_.path_group_offsets, temperature, nullptr);
+  return tape.value(p);
+}
+
+std::vector<float> DgrSolver::tree_probs(float temperature) const {
+  ad::Tape tape;
+  const ad::NodeId logits =
+      tape.input(params_.data() + relax_.path_count(), relax_.tree_count());
+  const ad::NodeId q =
+      ad::segment_softmax(tape, logits, relax_.tree_group_offsets, temperature, nullptr);
+  return tape.value(q);
+}
+
+}  // namespace dgr::core

@@ -1,0 +1,95 @@
+#pragma once
+// The differentiable global router (Sections 4.3–4.5).
+//
+// Trainables: one logit per path candidate and one per tree candidate.
+// Each iteration builds the expectation of the Eq. (3) cost on an ad::Tape
+// (Gumbel-softmax over groups -> coupled selection mass -> expected demand
+// -> activation overflow + WL + via terms), back-propagates, and takes an
+// Adam step; the temperature anneals on a fixed schedule. extract() turns
+// the optimised probabilities into a discrete RouteSolution (argmax trees,
+// top-p paths with greedy commitment).
+
+#include <vector>
+
+#include "ad/adam.hpp"
+#include "core/config.hpp"
+#include "core/relaxation.hpp"
+#include "eval/solution.hpp"
+#include "util/rng.hpp"
+
+namespace dgr::core {
+
+struct CostBreakdown {
+  double total = 0.0;
+  double overflow = 0.0;    ///< Σ f(d - cap), pre-weight
+  double wirelength = 0.0;  ///< Σ eff * WL, pre-weight
+  double via = 0.0;         ///< √L Σ eff * TP, pre-weight
+};
+
+struct TrainStats {
+  int iterations_run = 0;
+  double train_seconds = 0.0;
+  CostBreakdown final_cost;            ///< noise-free cost at final temperature
+  std::vector<double> cost_history;    ///< per-iteration training cost (if recorded)
+  std::size_t tape_bytes = 0;          ///< peak tape footprint ("GPU memory" proxy)
+};
+
+class DgrSolver {
+ public:
+  /// `capacities`: per-edge 2D capacities (Eq. 1 output or an explicit
+  /// uniform vector for the Table 1 protocol). Copied.
+  DgrSolver(const dag::DagForest& forest, std::vector<float> capacities,
+            DgrConfig config = {});
+
+  /// Runs the full training loop.
+  TrainStats train();
+
+  /// One gradient step at the given iteration index (exposed for tests and
+  /// custom schedules). Returns the (stochastic) training cost.
+  double train_step(int iteration);
+
+  /// Noise-free expected cost at temperature t (forward only).
+  CostBreakdown evaluate(float temperature) const;
+
+  /// Deterministic per-group probabilities (softmax, no noise).
+  std::vector<float> path_probs(float temperature) const;
+  std::vector<float> tree_probs(float temperature) const;
+
+  /// Discrete extraction (Section 4.5): argmax trees, top-p paths committed
+  /// greedily in decreasing-confidence order against true residual capacity.
+  eval::RouteSolution extract() const;
+
+  float temperature_at(int iteration) const;
+  const Relaxation& relaxation() const { return relax_; }
+  const DgrConfig& config() const { return config_; }
+  const std::vector<float>& capacities() const { return capacities_; }
+
+  /// Direct logit access (tests / warm starts).
+  std::vector<float>& logits() { return params_; }
+  std::size_t path_logit_count() const { return relax_.path_count(); }
+  std::size_t tree_logit_count() const { return relax_.tree_count(); }
+
+ private:
+  struct Forward {
+    ad::NodeId cost;
+    ad::NodeId path_logits;
+    ad::NodeId tree_logits;
+    CostBreakdown breakdown;
+  };
+  /// Builds the Fig. 4 computation graph on `tape`.
+  Forward build_forward(ad::Tape& tape, float temperature,
+                        const std::vector<float>* path_noise,
+                        const std::vector<float>* tree_noise) const;
+
+  const dag::DagForest& forest_;
+  Relaxation relax_;
+  std::vector<float> capacities_;
+  DgrConfig config_;
+  std::vector<float> params_;  ///< [path logits | tree logits]
+  ad::Adam adam_;
+  util::Rng rng_;
+  float via_cost_scale_ = 1.0f;  ///< √L of Eq. (5)
+  std::size_t peak_tape_bytes_ = 0;
+};
+
+}  // namespace dgr::core

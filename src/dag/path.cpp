@@ -1,0 +1,152 @@
+#include "dag/path.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dgr::dag {
+
+std::vector<EdgeId> PatternPath::edges(const GCellGrid& grid) const {
+  std::vector<EdgeId> out;
+  for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    Point cur = waypoints[i];
+    const Point dst = waypoints[i + 1];
+    const int dx = dst.x > cur.x ? 1 : (dst.x < cur.x ? -1 : 0);
+    const int dy = dst.y > cur.y ? 1 : (dst.y < cur.y ? -1 : 0);
+    assert(dx == 0 || dy == 0);
+    while (!(cur == dst)) {
+      const Point nxt{static_cast<geom::Coord>(cur.x + dx),
+                      static_cast<geom::Coord>(cur.y + dy)};
+      const EdgeId e = grid.edge_between(cur, nxt);
+      assert(e != grid::kInvalidEdge);
+      out.push_back(e);
+      cur = nxt;
+    }
+  }
+  return out;
+}
+
+std::int64_t PatternPath::length() const {
+  std::int64_t len = 0;
+  for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    len += geom::manhattan(waypoints[i], waypoints[i + 1]);
+  }
+  return len;
+}
+
+namespace {
+
+/// Appends `path` if its waypoint list (after dropping zero-length legs) is
+/// new and has at least one leg.
+void add_unique_path(std::vector<PatternPath>& out, PatternPath path) {
+  auto& w = path.waypoints;
+  w.erase(std::unique(w.begin(), w.end()), w.end());
+  if (w.size() < 2) return;
+  for (const PatternPath& q : out) {
+    if (q.waypoints == path.waypoints) return;
+  }
+  out.push_back(std::move(path));
+}
+
+}  // namespace
+
+std::vector<PatternPath> enumerate_paths(Point a, Point b, const PathEnumOptions& opts) {
+  std::vector<PatternPath> out;
+  if (a == b) {
+    out.push_back(PatternPath{{a, b}});
+    return out;
+  }
+  if (a.x == b.x || a.y == b.y) {
+    out.push_back(PatternPath{{a, b}});
+    return out;
+  }
+
+  // Two L-shapes: bend at (b.x, a.y) = horizontal-first, and at (a.x, b.y).
+  out.push_back(PatternPath{{a, Point{b.x, a.y}, b}});
+  out.push_back(PatternPath{{a, Point{a.x, b.y}, b}});
+
+  if (opts.z_samples > 0) {
+    auto add_unique = [&out](PatternPath p) {
+      if (p.waypoints.size() >= 3) add_unique_path(out, std::move(p));
+    };
+    // HVH jogs: vertical leg at x strictly between a.x and b.x.
+    const int xlo = std::min(a.x, b.x), xhi = std::max(a.x, b.x);
+    const int span_x = xhi - xlo;
+    for (int k = 1; k <= opts.z_samples && k < span_x; ++k) {
+      const auto x = static_cast<geom::Coord>(xlo + k * span_x / (opts.z_samples + 1));
+      if (x <= xlo || x >= xhi) continue;
+      add_unique(PatternPath{{a, Point{x, a.y}, Point{x, b.y}, b}});
+    }
+    // VHV jogs: horizontal leg at y strictly between a.y and b.y.
+    const int ylo = std::min(a.y, b.y), yhi = std::max(a.y, b.y);
+    const int span_y = yhi - ylo;
+    for (int k = 1; k <= opts.z_samples && k < span_y; ++k) {
+      const auto y = static_cast<geom::Coord>(ylo + k * span_y / (opts.z_samples + 1));
+      if (y <= ylo || y >= yhi) continue;
+      add_unique(PatternPath{{a, Point{a.x, y}, Point{b.x, y}, b}});
+    }
+  }
+  return out;
+}
+
+std::vector<PatternPath> enumerate_paths(Point a, Point b, const PathEnumOptions& opts,
+                                         const GCellGrid& grid) {
+  std::vector<PatternPath> out = enumerate_paths(a, b, opts);
+  if (opts.c_samples <= 0 || opts.c_detour <= 0 || a == b) return out;
+
+  // C-shapes: leave the pin bounding box on one side, run parallel to the
+  // straight span, and come back. Each sampled offset k in [1, c_samples]
+  // detours by k * c_detour cells; out-of-grid candidates are skipped.
+  // A detour is only emitted when the crossing leg has nonzero extent,
+  // otherwise the "C" would walk the same column/row out and back.
+  const geom::Rect box = geom::Rect::bounding_box({a, b});
+  for (int k = 1; k <= opts.c_samples; ++k) {
+    const auto d = static_cast<geom::Coord>(k * opts.c_detour);
+    if (a.x != b.x) {
+      // Horizontal C's (above / below the box): a -> (a.x,y) -> (b.x,y) -> b.
+      for (const geom::Coord y : {static_cast<geom::Coord>(box.lo.y - d),
+                                  static_cast<geom::Coord>(box.hi.y + d)}) {
+        if (y < 0 || y >= grid.height()) continue;
+        add_unique_path(out, PatternPath{{a, Point{a.x, y}, Point{b.x, y}, b}});
+      }
+    }
+    if (a.y != b.y) {
+      // Vertical C's (left / right of the box).
+      for (const geom::Coord x : {static_cast<geom::Coord>(box.lo.x - d),
+                                  static_cast<geom::Coord>(box.hi.x + d)}) {
+        if (x < 0 || x >= grid.width()) continue;
+        add_unique_path(out, PatternPath{{a, Point{x, a.y}, Point{x, b.y}, b}});
+      }
+    }
+  }
+  return out;
+}
+
+bool path_is_valid(const PatternPath& path, const GCellGrid& grid, bool require_monotone) {
+  const auto& w = path.waypoints;
+  if (w.size() < 2) return false;
+  for (const Point& p : w) {
+    if (!grid.in_bounds(p)) return false;
+  }
+  if (w.size() == 2 && w[0] == w[1]) return true;  // degenerate single-cell
+  int sign_x = 0, sign_y = 0;
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    const int dx = w[i + 1].x - w[i].x;
+    const int dy = w[i + 1].y - w[i].y;
+    if (dx != 0 && dy != 0) return false;  // not axis-aligned
+    if (dx == 0 && dy == 0) return false;  // duplicate waypoint
+    if (!require_monotone) continue;
+    // Monotonicity: per-axis direction must never flip.
+    if (dx != 0) {
+      const int s = dx > 0 ? 1 : -1;
+      if (sign_x != 0 && s != sign_x) return false;
+      sign_x = s;
+    } else {
+      const int s = dy > 0 ? 1 : -1;
+      if (sign_y != 0 && s != sign_y) return false;
+      sign_y = s;
+    }
+  }
+  return true;
+}
+
+}  // namespace dgr::dag

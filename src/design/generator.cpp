@@ -1,0 +1,188 @@
+#include "design/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dgr::design {
+
+using util::Rng;
+
+Table1Instance make_table1_instance(const Table1Params& params, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Net> nets;
+  nets.reserve(static_cast<std::size_t>(params.num_nets));
+  const int box = std::min({params.box_size, params.grid_w, params.grid_h});
+  for (int n = 0; n < params.num_nets; ++n) {
+    Net net;
+    net.name = "n" + std::to_string(n);
+    // Random box placement, then `pins_per_net` g-cells inside it. Duplicate
+    // picks are redrawn so nets stay genuinely multi-pin (matching the
+    // "3 G-cells arbitrarily selected" protocol).
+    const auto bx = rng.uniform_int(0, params.grid_w - box);
+    const auto by = rng.uniform_int(0, params.grid_h - box);
+    while (static_cast<int>(net.pins.size()) < params.pins_per_net) {
+      Point p{static_cast<geom::Coord>(bx + rng.uniform_int(0, box - 1)),
+              static_cast<geom::Coord>(by + rng.uniform_int(0, box - 1))};
+      if (std::find(net.pins.begin(), net.pins.end(), p) == net.pins.end()) {
+        net.pins.push_back(p);
+      }
+      // Degenerate guard: a 1x1 box cannot host distinct pins.
+      if (box * box < params.pins_per_net) break;
+    }
+    nets.push_back(std::move(net));
+  }
+  // Single-direction-agnostic grid; Table 1 uses an explicit uniform cap.
+  GCellGrid grid = GCellGrid::uniform(params.grid_w, params.grid_h, 2, params.capacity);
+  Table1Instance inst{Design("table1", std::move(grid), std::move(nets)), {}};
+  inst.capacities.assign(static_cast<std::size_t>(inst.design.grid().edge_count()),
+                         static_cast<float>(params.capacity));
+  return inst;
+}
+
+namespace {
+
+Point clamp_point(double x, double y, int w, int h) {
+  auto cx = static_cast<geom::Coord>(std::lround(std::clamp(x, 0.0, w - 1.0)));
+  auto cy = static_cast<geom::Coord>(std::lround(std::clamp(y, 0.0, h - 1.0)));
+  return Point{cx, cy};
+}
+
+}  // namespace
+
+Design generate_ispd_like(const IspdLikeParams& p, std::uint64_t seed) {
+  Rng rng(seed);
+  const double gw = p.grid_w;
+  const double gh = p.grid_h;
+
+  // Hot-spot cluster centres (congested regions of the layout).
+  std::vector<std::pair<double, double>> centres;
+  for (int i = 0; i < p.hotspots; ++i) {
+    centres.emplace_back(rng.uniform(0.15 * gw, 0.85 * gw), rng.uniform(0.15 * gh, 0.85 * gh));
+  }
+
+  std::vector<Net> nets;
+  nets.reserve(static_cast<std::size_t>(p.num_nets));
+  for (int n = 0; n < p.num_nets; ++n) {
+    Net net;
+    net.name = p.name + "_n" + std::to_string(n);
+
+    // Net centre: hot-spot attracted with probability hotspot_affinity.
+    double cx, cy;
+    if (!centres.empty() && rng.uniform() < p.hotspot_affinity) {
+      const auto& c = centres[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(centres.size()) - 1))];
+      cx = c.first + rng.normal() * p.hotspot_sigma * gw;
+      cy = c.second + rng.normal() * p.hotspot_sigma * gh;
+    } else {
+      cx = rng.uniform(0.0, gw);
+      cy = rng.uniform(0.0, gh);
+    }
+
+    if (rng.uniform() < p.local_net_fraction) {
+      // Local net: every pin in one g-cell (consumes Eq. 1 resources only).
+      const Point cell = clamp_point(cx, cy, p.grid_w, p.grid_h);
+      const int k = 2 + static_cast<int>(rng.uniform_int(0, 2));
+      net.pins.assign(static_cast<std::size_t>(k), cell);
+      nets.push_back(std::move(net));
+      continue;
+    }
+
+    // Span: mixture of short local interconnect and long global nets.
+    const double frac = rng.uniform() < p.short_net_frac ? p.short_span : p.long_span;
+    const double span_x = std::max(1.0, frac * gw * rng.uniform(0.5, 1.5));
+    const double span_y = std::max(1.0, frac * gh * rng.uniform(0.5, 1.5));
+
+    // Pin count: 2 + geometric-ish tail, clamped.
+    int pins = 2;
+    while (pins < p.max_pins_per_net && rng.uniform() < p.mean_extra_pins /
+                                            (p.mean_extra_pins + 1.0)) {
+      ++pins;
+    }
+    for (int k = 0; k < pins; ++k) {
+      const double px = cx + rng.uniform(-0.5, 0.5) * span_x;
+      const double py = cy + rng.uniform(-0.5, 0.5) * span_y;
+      net.pins.push_back(clamp_point(px, py, p.grid_w, p.grid_h));
+    }
+    net.pins = geom::dedupe_points(std::move(net.pins));
+    if (net.pins.size() < 2) {
+      // Collapsed by clamping/dedup; force a genuine 2-pin net.
+      Point q = net.pins.front();
+      q.x = static_cast<geom::Coord>(q.x + 1 < p.grid_w ? q.x + 1 : q.x - 1);
+      net.pins.push_back(q);
+    }
+    nets.push_back(std::move(net));
+  }
+
+  GCellGrid grid = GCellGrid::uniform(p.grid_w, p.grid_h, p.layers, p.tracks_per_layer,
+                                      p.reserve_pin_layer);
+  return Design(p.name, std::move(grid), std::move(nets));
+}
+
+namespace {
+
+IspdLikeParams scaled(IspdLikeParams p, double scale) {
+  // Net count scales linearly, grid edge scales with sqrt so the routing
+  // density (nets per g-cell edge) is preserved across scales.
+  const double s = std::clamp(scale, 0.01, 4.0);
+  p.num_nets = std::max(8, static_cast<int>(std::lround(p.num_nets * s)));
+  const double gs = std::sqrt(s);
+  p.grid_w = std::max(8, static_cast<int>(std::lround(p.grid_w * gs)));
+  p.grid_h = std::max(8, static_cast<int>(std::lround(p.grid_h * gs)));
+  return p;
+}
+
+IspdLikeParams base_preset(std::string name, int gw, int gh, int nets, int layers,
+                           int tracks, int hotspots, double affinity) {
+  IspdLikeParams p;
+  p.name = std::move(name);
+  p.grid_w = gw;
+  p.grid_h = gh;
+  p.num_nets = nets;
+  p.layers = layers;
+  p.tracks_per_layer = tracks;
+  p.hotspots = hotspots;
+  p.hotspot_affinity = affinity;
+  return p;
+}
+
+}  // namespace
+
+std::vector<IspdLikeParams> table2_presets(double scale) {
+  // Congested 5-layer cases. Row order mirrors Table 2; relative sizes track
+  // the paper's cell/net ratios (ispd19_9m largest, ispd18_5m smallest).
+  // Tight track budgets + strong hot-spots make them genuinely congested.
+  std::vector<IspdLikeParams> presets = {
+      base_preset("ispd18_5m", 62, 61, 1400, 5, 3, 3, 0.62),
+      base_preset("ispd18_8m", 90, 88, 3500, 5, 3, 4, 0.58),
+      base_preset("ispd18_10m", 61, 52, 3600, 5, 3, 4, 0.62),
+      base_preset("ispd19_7m", 105, 101, 7000, 5, 3, 5, 0.55),
+      base_preset("ispd19_8m", 120, 114, 10500, 5, 3, 6, 0.57),
+      base_preset("ispd19_9m", 134, 143, 17500, 5, 3, 7, 0.58),
+  };
+  for (auto& p : presets) p = scaled(std::move(p), scale);
+  return presets;
+}
+
+std::vector<IspdLikeParams> table3_presets(double scale) {
+  // The ispd18_test1..10 ladder: small clean cases first, then large ones.
+  // Lighter congestion than Table 2 (the paper's Table 3 rows all reach
+  // zero overflow); 9 layers except the small early cases.
+  std::vector<IspdLikeParams> presets = {
+      base_preset("ispd18_test1", 18, 18, 80, 9, 3, 1, 0.30),
+      base_preset("ispd18_test2", 40, 40, 700, 9, 3, 2, 0.32),
+      base_preset("ispd18_test3", 42, 42, 800, 9, 3, 2, 0.34),
+      base_preset("ispd18_test4", 58, 58, 1800, 9, 3, 3, 0.36),
+      base_preset("ispd18_test5", 60, 60, 1900, 9, 3, 3, 0.38),
+      base_preset("ispd18_test6", 68, 68, 2400, 9, 3, 3, 0.38),
+      base_preset("ispd18_test7", 88, 88, 3600, 9, 3, 4, 0.38),
+      base_preset("ispd18_test8", 88, 88, 3700, 9, 3, 4, 0.38),
+      base_preset("ispd18_test9", 82, 82, 3300, 9, 3, 4, 0.38),
+      base_preset("ispd18_test10", 86, 86, 3700, 9, 3, 4, 0.40),
+  };
+  for (auto& p : presets) p = scaled(std::move(p), scale);
+  return presets;
+}
+
+}  // namespace dgr::design

@@ -1,0 +1,86 @@
+#pragma once
+// Synthetic testcase generators.
+//
+// The ISPD'18/'19 contest benchmarks used by the paper are LEF/DEF
+// distributions we cannot redistribute, so this module generates seeded
+// synthetic designs that reproduce the *regimes* the evaluation needs:
+//
+//  * Table 1 protocol ("3 g-cells arbitrarily selected within a box for
+//    each net") — reproduced verbatim by `make_table1_instance`.
+//  * ispd18-like scale ladder (test1..test10) and congested 5-layer
+//    ispd19-like cases — produced by `generate_ispd_like` from presets whose
+//    parameters (grid, #nets, hot-spot clustering) are scaled to CPU budgets.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "design/design.hpp"
+
+namespace dgr::design {
+
+// ---------------------------------------------------------------------------
+// Table 1 synthetic protocol
+// ---------------------------------------------------------------------------
+
+struct Table1Params {
+  int grid_w = 20;
+  int grid_h = 20;
+  int capacity = 1;   ///< uniform cap_e for every g-cell edge
+  int num_nets = 20;
+  int box_size = 4;   ///< pins are drawn inside a box_size x box_size window
+  int pins_per_net = 3;
+};
+
+struct Table1Instance {
+  Design design;
+  std::vector<float> capacities;  ///< uniform, bypasses the Eq. 1 model
+};
+
+/// Draws `num_nets` nets of `pins_per_net` random g-cells inside a randomly
+/// placed box, exactly as the paper's ILP comparison protocol.
+Table1Instance make_table1_instance(const Table1Params& params, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// ISPD-like generator
+// ---------------------------------------------------------------------------
+
+struct IspdLikeParams {
+  std::string name = "synthetic";
+  int grid_w = 64;
+  int grid_h = 64;
+  int layers = 5;             ///< 5 matches the congested ISPD'19 subset
+  int tracks_per_layer = 4;
+  bool reserve_pin_layer = true;  ///< metal1 carries pins, no routing tracks
+  int num_nets = 1000;
+  int max_pins_per_net = 12;  ///< pin count ~ 2 + geometric, clamped
+  double mean_extra_pins = 1.2;
+  double local_net_fraction = 0.08;  ///< nets entirely inside one g-cell
+  /// Net bounding-box edge as a fraction of grid size; mixture of short
+  /// (local interconnect) and long (buses / global signals) nets.
+  double short_net_frac = 0.75;
+  double short_span = 0.08;
+  double long_span = 0.45;
+  /// Congestion hot-spots: net centres are attracted to `hotspots` cluster
+  /// centres with probability `hotspot_affinity` (0 = uniform layout).
+  int hotspots = 3;
+  double hotspot_affinity = 0.55;
+  double hotspot_sigma = 0.06;  ///< cluster radius as a fraction of grid size
+};
+
+Design generate_ispd_like(const IspdLikeParams& params, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Named presets mirroring the paper's benchmark lists (scaled to CPU budgets)
+// ---------------------------------------------------------------------------
+
+/// The six congested 5-layer cases of Table 2:
+///   ispd18_5m, ispd18_8m, ispd18_10m, ispd19_7m, ispd19_8m, ispd19_9m.
+/// `scale` in (0,1] shrinks #nets/grid together (1.0 = repo default size,
+/// already far below the contest sizes; see EXPERIMENTS.md).
+std::vector<IspdLikeParams> table2_presets(double scale = 1.0);
+
+/// The ten ispd18_test1..test10 cases of Table 3 (scale ladder).
+std::vector<IspdLikeParams> table3_presets(double scale = 1.0);
+
+}  // namespace dgr::design

@@ -1,0 +1,138 @@
+#include "design/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dgr::design {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("dgrd parse error at line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+void write_design(std::ostream& os, const Design& design) {
+  const GCellGrid& grid = design.grid();
+  os << "dgrd 1\n";
+  os << "design " << (design.name().empty() ? "unnamed" : design.name()) << "\n";
+  os << "grid " << grid.width() << " " << grid.height() << " " << grid.layer_count() << "\n";
+  for (const auto& layer : grid.layers()) {
+    os << "layer " << (layer.dir == grid::Dir::kHorizontal ? 'H' : 'V') << " "
+       << layer.tracks << "\n";
+  }
+  os << "nets " << design.net_count() << "\n";
+  for (const Net& net : design.nets()) {
+    os << "net " << net.name << " " << net.pins.size();
+    for (const Point& p : net.pins) os << " " << p.x << " " << p.y;
+    os << "\n";
+  }
+  os << "end\n";
+  if (!os) throw std::runtime_error("dgrd write failed");
+}
+
+void write_design_file(const std::string& path, const Design& design) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write_design(os, design);
+}
+
+Design read_design(std::istream& is) {
+  int line_no = 0;
+  std::string line;
+  auto next_line = [&](bool required) -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      // Skip blanks and # comments.
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos || line[pos] == '#') continue;
+      return true;
+    }
+    if (required) fail(line_no, "unexpected end of file");
+    return false;
+  };
+
+  next_line(true);
+  {
+    std::istringstream ss(line);
+    std::string magic;
+    int version = 0;
+    if (!(ss >> magic >> version) || magic != "dgrd" || version != 1) {
+      fail(line_no, "expected header 'dgrd 1'");
+    }
+  }
+
+  next_line(true);
+  std::string name;
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw >> name) || kw != "design") fail(line_no, "expected 'design <name>'");
+  }
+
+  next_line(true);
+  int w = 0, h = 0, layer_count = 0;
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw >> w >> h >> layer_count) || kw != "grid" || w < 1 || h < 1 ||
+        layer_count < 1) {
+      fail(line_no, "expected 'grid <W> <H> <L>'");
+    }
+  }
+
+  std::vector<grid::LayerInfo> layers;
+  for (int i = 0; i < layer_count; ++i) {
+    next_line(true);
+    std::istringstream ss(line);
+    std::string kw;
+    char dir = 0;
+    int tracks = -1;
+    if (!(ss >> kw >> dir >> tracks) || kw != "layer" || (dir != 'H' && dir != 'V') ||
+        tracks < 0) {
+      fail(line_no, "expected 'layer <H|V> <tracks>'");
+    }
+    layers.push_back({dir == 'H' ? grid::Dir::kHorizontal : grid::Dir::kVertical, tracks});
+  }
+
+  next_line(true);
+  std::size_t net_count = 0;
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw >> net_count) || kw != "nets") fail(line_no, "expected 'nets <N>'");
+  }
+
+  std::vector<Net> nets;
+  nets.reserve(net_count);
+  for (std::size_t i = 0; i < net_count; ++i) {
+    next_line(true);
+    std::istringstream ss(line);
+    std::string kw;
+    Net net;
+    std::size_t npins = 0;
+    if (!(ss >> kw >> net.name >> npins) || kw != "net" || npins == 0) {
+      fail(line_no, "expected 'net <name> <npins> ...'");
+    }
+    for (std::size_t k = 0; k < npins; ++k) {
+      Point p;
+      if (!(ss >> p.x >> p.y)) fail(line_no, "net pin list truncated");
+      net.pins.push_back(p);
+    }
+    nets.push_back(std::move(net));
+  }
+
+  next_line(true);
+  if (line.substr(line.find_first_not_of(" \t"), 3) != "end") fail(line_no, "expected 'end'");
+
+  return Design(std::move(name), GCellGrid(w, h, std::move(layers)), std::move(nets));
+}
+
+Design read_design_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return read_design(is);
+}
+
+}  // namespace dgr::design

@@ -1,0 +1,34 @@
+#pragma once
+// Plain-text design interchange format ("dgrd").
+//
+// The contest LEF/DEF files are not available offline, so the repo defines a
+// minimal, line-oriented design format with the information global routing
+// needs: grid extent, layer stack (direction + tracks) and nets with g-cell
+// pin locations. Generated designs can be saved/loaded so experiments are
+// replayable without rerunning the generator.
+//
+//   dgrd 1
+//   design <name>
+//   grid <W> <H> <L>
+//   layer <H|V> <tracks>          (L lines, bottom-up)
+//   nets <N>
+//   net <name> <npins> <x> <y> [<x> <y> ...]
+//   end
+
+#include <iosfwd>
+#include <string>
+
+#include "design/design.hpp"
+
+namespace dgr::design {
+
+/// Serialises a design; throws std::runtime_error on stream failure.
+void write_design(std::ostream& os, const Design& design);
+void write_design_file(const std::string& path, const Design& design);
+
+/// Parses a design; throws std::runtime_error with a line-numbered message
+/// on malformed input.
+Design read_design(std::istream& is);
+Design read_design_file(const std::string& path);
+
+}  // namespace dgr::design

@@ -1,0 +1,46 @@
+#include "eval/metrics.hpp"
+
+namespace dgr::eval {
+
+Metrics compute_metrics(const RouteSolution& sol, const std::vector<float>& capacities,
+                        float via_beta) {
+  Metrics m;
+  const grid::DemandMap dm = sol.demand(via_beta);
+  m.overflow_edges = dm.overflowed_edge_count(capacities);
+  m.total_overflow = dm.total_overflow(capacities);
+  m.peak_overflow = dm.peak_overflow(capacities);
+  m.wirelength = sol.total_wirelength();
+  m.bends = sol.total_bends();
+  return m;
+}
+
+std::int64_t nets_with_overflow(const RouteSolution& sol,
+                                const std::vector<float>& capacities, float via_beta) {
+  const grid::DemandMap dm = sol.demand(via_beta);
+  const auto& grid = sol.design->grid();
+  std::int64_t count = 0;
+  for (const NetRoute& net : sol.nets) {
+    bool over = false;
+    for (const dag::PatternPath& path : net.paths) {
+      for (const grid::EdgeId e : path.edges(grid)) {
+        if (dm.demand(e) > capacities[static_cast<std::size_t>(e)] + 1e-6) {
+          over = true;
+          break;
+        }
+      }
+      if (over) break;
+    }
+    if (over) ++count;
+  }
+  return count;
+}
+
+double weighted_overflow(const RouteSolution& sol, const std::vector<float>& capacities,
+                         float via_beta) {
+  const Metrics m = compute_metrics(sol, capacities, via_beta);
+  const std::int64_t n1 = nets_with_overflow(sol, capacities, via_beta);
+  return 10.0 * static_cast<double>(n1) + 1000.0 * static_cast<double>(m.overflow_edges) +
+         10000.0 * m.peak_overflow;
+}
+
+}  // namespace dgr::eval

@@ -1,0 +1,37 @@
+#pragma once
+// Routing quality metrics matching the paper's reporting:
+//   Tables 2/3: # g-cell edges with overflow, total wirelength, # vias
+//   Fig. 6:     weighted overflow = 10*n1 + 1000*n2 + 10000*peak_overflow
+//   Table 1:    Σ_e ReLU(d_e - cap_e)
+
+#include <cstdint>
+
+#include "eval/solution.hpp"
+
+namespace dgr::eval {
+
+struct Metrics {
+  std::int64_t overflow_edges = 0;  ///< edges with d > cap after 2D routing
+  double total_overflow = 0.0;      ///< Σ max(0, d - cap)
+  double peak_overflow = 0.0;       ///< max single-edge overflow
+  std::int64_t wirelength = 0;      ///< total 2D wirelength
+  std::int64_t bends = 0;           ///< turning points (via proxy before 3D)
+};
+
+/// Metrics of a 2D solution against per-edge capacities. `via_beta` matches
+/// the demand model used during optimisation.
+Metrics compute_metrics(const RouteSolution& sol, const std::vector<float>& capacities,
+                        float via_beta = 0.5f);
+
+/// Fig. 6 y-axis: 10*n1 + 1000*n2 + 10000*peak, where n1 = # nets crossing
+/// an overflowed edge (stand-in for "nets with overflow after layer
+/// assignment" when no 3D pass ran), n2 = # overflowed edges.
+double weighted_overflow(const RouteSolution& sol, const std::vector<float>& capacities,
+                         float via_beta = 0.5f);
+
+/// # nets that touch at least one overflowed edge.
+std::int64_t nets_with_overflow(const RouteSolution& sol,
+                                const std::vector<float>& capacities,
+                                float via_beta = 0.5f);
+
+}  // namespace dgr::eval

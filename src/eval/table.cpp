@@ -1,0 +1,64 @@
+#include "eval/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dgr::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_sep = [&] {
+    os << "+";
+    for (const std::size_t w : width) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << " " << s << std::string(width[c] - s.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  print_sep();
+  print_cells(headers_);
+  print_sep();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_sep();
+    } else {
+      print_cells(row);
+    }
+  }
+  print_sep();
+}
+
+std::string fmt_int(std::int64_t v) { return std::to_string(v); }
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_or_na(bool available, double v, int digits) {
+  return available ? fmt_double(v, digits) : "N/A";
+}
+
+std::string fmt_ratio(double v, int digits) { return fmt_double(v, digits); }
+
+}  // namespace dgr::eval

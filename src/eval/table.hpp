@@ -1,0 +1,32 @@
+#pragma once
+// Aligned ASCII table printer used by the bench harnesses to emit the same
+// rows the paper's tables report.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dgr::eval {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Adds a horizontal separator before the next row (e.g. before "Ratio").
+  void add_separator();
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+// Formatting helpers.
+std::string fmt_int(std::int64_t v);
+std::string fmt_double(double v, int digits = 2);
+/// "N/A" when the flag is false (ILP timeout rows of Table 1).
+std::string fmt_or_na(bool available, double v, int digits = 2);
+std::string fmt_ratio(double v, int digits = 4);
+
+}  // namespace dgr::eval

@@ -1,0 +1,53 @@
+#include "geom/geom.hpp"
+
+#include <set>
+
+namespace dgr::geom {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << "," << p.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.lo << ".." << r.hi << "]";
+}
+
+Rect Rect::bounding_box(const std::vector<Point>& pts) {
+  Rect r;
+  if (pts.empty()) return r;
+  r.lo = r.hi = pts.front();
+  for (const Point& p : pts) {
+    r.lo.x = std::min(r.lo.x, p.x);
+    r.lo.y = std::min(r.lo.y, p.y);
+    r.hi.x = std::max(r.hi.x, p.x);
+    r.hi.y = std::max(r.hi.y, p.y);
+  }
+  return r;
+}
+
+HananGrid HananGrid::from_points(const std::vector<Point>& pts) {
+  HananGrid g;
+  g.xs.reserve(pts.size());
+  g.ys.reserve(pts.size());
+  for (const Point& p : pts) {
+    g.xs.push_back(p.x);
+    g.ys.push_back(p.y);
+  }
+  std::sort(g.xs.begin(), g.xs.end());
+  g.xs.erase(std::unique(g.xs.begin(), g.xs.end()), g.xs.end());
+  std::sort(g.ys.begin(), g.ys.end());
+  g.ys.erase(std::unique(g.ys.begin(), g.ys.end()), g.ys.end());
+  return g;
+}
+
+std::vector<Point> dedupe_points(std::vector<Point> pts) {
+  std::set<Point> seen;
+  std::vector<Point> out;
+  out.reserve(pts.size());
+  for (const Point& p : pts) {
+    if (seen.insert(p).second) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace dgr::geom

@@ -1,0 +1,74 @@
+#pragma once
+// Integer rectilinear geometry on the g-cell grid.
+//
+// Coordinates are g-cell indices (column x, row y). All routing geometry in
+// this library is rectilinear, so distances are Manhattan / L1.
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace dgr::geom {
+
+using Coord = std::int32_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+  friend auto operator<=>(const Point&, const Point&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+/// Manhattan (rectilinear) distance.
+inline std::int64_t manhattan(const Point& a, const Point& b) {
+  return std::int64_t{std::abs(a.x - b.x)} + std::int64_t{std::abs(a.y - b.y)};
+}
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+struct Rect {
+  Point lo;
+  Point hi;
+
+  static Rect bounding_box(const std::vector<Point>& pts);
+
+  bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  Coord width() const { return hi.x - lo.x; }
+  Coord height() const { return hi.y - lo.y; }
+  /// Half-perimeter wirelength of the box — the classic HPWL lower bound on
+  /// any rectilinear Steiner tree spanning points inside it.
+  std::int64_t hpwl() const { return std::int64_t{width()} + std::int64_t{height()}; }
+  /// Grows the rect (clamped by the caller) by `margin` on every side.
+  Rect inflated(Coord margin) const {
+    return Rect{{static_cast<Coord>(lo.x - margin), static_cast<Coord>(lo.y - margin)},
+                {static_cast<Coord>(hi.x + margin), static_cast<Coord>(hi.y + margin)}};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// Deduplicated, sorted x/y coordinates of a point set — the Hanan grid.
+/// Every rectilinear Steiner minimum tree can be embedded in this grid,
+/// which is what the exact small-degree RSMT solver enumerates.
+struct HananGrid {
+  std::vector<Coord> xs;
+  std::vector<Coord> ys;
+
+  static HananGrid from_points(const std::vector<Point>& pts);
+  std::size_t size() const { return xs.size() * ys.size(); }
+  Point point(std::size_t idx) const {
+    return Point{xs[idx % xs.size()], ys[idx / xs.size()]};
+  }
+};
+
+/// Removes duplicate points (stable order of first occurrence).
+std::vector<Point> dedupe_points(std::vector<Point> pts);
+
+}  // namespace dgr::geom

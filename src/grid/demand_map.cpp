@@ -1,0 +1,33 @@
+#include "grid/demand_map.hpp"
+
+#include <algorithm>
+
+namespace dgr::grid {
+
+double DemandMap::total_overflow(const std::vector<float>& cap) const {
+  double total = 0.0;
+  for (std::size_t e = 0; e < demand_.size(); ++e) {
+    const double over = demand_[e] - cap[e];
+    if (over > 0.0) total += over;
+  }
+  return total;
+}
+
+std::int64_t DemandMap::overflowed_edge_count(const std::vector<float>& cap,
+                                              double eps) const {
+  std::int64_t count = 0;
+  for (std::size_t e = 0; e < demand_.size(); ++e) {
+    if (demand_[e] > cap[e] + eps) ++count;
+  }
+  return count;
+}
+
+double DemandMap::peak_overflow(const std::vector<float>& cap) const {
+  double peak = 0.0;
+  for (std::size_t e = 0; e < demand_.size(); ++e) {
+    peak = std::max(peak, demand_[e] - cap[e]);
+  }
+  return peak;
+}
+
+}  // namespace dgr::grid

@@ -1,0 +1,44 @@
+#pragma once
+// Mutable per-edge routing demand, shared by every router in the repo.
+//
+// Sequential baselines (CUGR2-lite, SPRoute-lite, Lagrangian) mutate a
+// DemandMap incrementally as they commit/rip-up nets; DGR's differentiable
+// solver produces an *expected* demand internally and only materialises a
+// DemandMap when extracting the discrete solution.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/gcell_grid.hpp"
+
+namespace dgr::grid {
+
+class DemandMap {
+ public:
+  DemandMap() = default;
+  explicit DemandMap(const GCellGrid& grid)
+      : demand_(static_cast<std::size_t>(grid.edge_count()), 0.0) {}
+
+  std::size_t edge_count() const { return demand_.size(); }
+  double demand(EdgeId e) const { return demand_[static_cast<std::size_t>(e)]; }
+  void add(EdgeId e, double amount) { demand_[static_cast<std::size_t>(e)] += amount; }
+  void clear() { std::fill(demand_.begin(), demand_.end(), 0.0); }
+
+  const std::vector<double>& raw() const { return demand_; }
+
+  /// Total overflow Σ_e max(0, d_e − cap_e).
+  double total_overflow(const std::vector<float>& cap) const;
+
+  /// Number of edges with d_e > cap_e (the "# G-cell edges w/ overflow"
+  /// column of Tables 2–3). `eps` guards float round-off.
+  std::int64_t overflowed_edge_count(const std::vector<float>& cap,
+                                     double eps = 1e-6) const;
+
+  /// Maximum single-edge overflow (used by the Fig. 6 weighted metric).
+  double peak_overflow(const std::vector<float>& cap) const;
+
+ private:
+  std::vector<double> demand_;
+};
+
+}  // namespace dgr::grid

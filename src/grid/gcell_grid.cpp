@@ -1,0 +1,92 @@
+#include "grid/gcell_grid.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dgr::grid {
+
+GCellGrid::GCellGrid(int width, int height, std::vector<LayerInfo> layers)
+    : width_(width), height_(height), layers_(std::move(layers)) {
+  if (width < 1 || height < 1) throw std::invalid_argument("GCellGrid: empty grid");
+  for (const LayerInfo& l : layers_) {
+    if (l.dir == Dir::kHorizontal) {
+      h_tracks_ += l.tracks;
+      ++h_layers_;
+    } else {
+      v_tracks_ += l.tracks;
+      ++v_layers_;
+    }
+  }
+}
+
+GCellGrid GCellGrid::uniform(int width, int height, int layer_count, int tracks_per_layer,
+                             bool reserve_pin_layer) {
+  std::vector<LayerInfo> layers(static_cast<std::size_t>(layer_count));
+  for (int i = 0; i < layer_count; ++i) {
+    // Conventional HVHV... stack starting with a horizontal metal1-equivalent.
+    layers[static_cast<std::size_t>(i)].dir = (i % 2 == 0) ? Dir::kHorizontal : Dir::kVertical;
+    layers[static_cast<std::size_t>(i)].tracks =
+        (reserve_pin_layer && i == 0) ? 0 : tracks_per_layer;
+  }
+  return GCellGrid(width, height, std::move(layers));
+}
+
+EdgeId GCellGrid::edge_between(Point a, Point b) const {
+  if (!in_bounds(a) || !in_bounds(b)) return kInvalidEdge;
+  if (a.y == b.y && (a.x == b.x + 1 || b.x == a.x + 1)) {
+    return h_edge(std::min(a.x, b.x), a.y);
+  }
+  if (a.x == b.x && (a.y == b.y + 1 || b.y == a.y + 1)) {
+    return v_edge(a.x, std::min(a.y, b.y));
+  }
+  return kInvalidEdge;
+}
+
+std::pair<Point, Point> GCellGrid::edge_cells(EdgeId e) const {
+  assert(e >= 0 && e < edge_count());
+  if (e < h_edge_count()) {
+    const Coord x = static_cast<Coord>(e % (width_ - 1));
+    const Coord y = static_cast<Coord>(e / (width_ - 1));
+    return {Point{x, y}, Point{static_cast<Coord>(x + 1), y}};
+  }
+  const EdgeId v = e - h_edge_count();
+  const Coord x = static_cast<Coord>(v % width_);
+  const Coord y = static_cast<Coord>(v / width_);
+  return {Point{x, y}, Point{x, static_cast<Coord>(y + 1)}};
+}
+
+std::vector<float> compute_capacities(const GCellGrid& grid, const CapacityInputs& in) {
+  const EdgeId ne = grid.edge_count();
+  std::vector<float> cap(static_cast<std::size_t>(ne));
+
+  auto cell_pressure = [&](CellId c) -> float {
+    float p = 0.0f;
+    const float beta = in.beta.empty() ? in.beta_default
+                                       : in.beta[static_cast<std::size_t>(c)];
+    if (!in.pin_density.empty()) p += beta * in.pin_density[static_cast<std::size_t>(c)];
+    if (!in.local_nets.empty()) p += in.local_nets[static_cast<std::size_t>(c)];
+    return p;
+  };
+
+  for (EdgeId e = 0; e < ne; ++e) {
+    const auto [a, b] = grid.edge_cells(e);
+    // Each endpoint cell's pressure is split evenly over its (up to 4)
+    // incident edges, so a fully surrounded cell charges 1/4 per edge while
+    // total charged pressure stays equal to the cell pressure.
+    auto incident = [&](Point p) {
+      int d = 0;
+      if (p.x > 0) ++d;
+      if (p.x + 1 < grid.width()) ++d;
+      if (p.y > 0) ++d;
+      if (p.y + 1 < grid.height()) ++d;
+      return d == 0 ? 1 : d;
+    };
+    const float pressure = cell_pressure(grid.cell_id(a)) / static_cast<float>(incident(a)) +
+                           cell_pressure(grid.cell_id(b)) / static_cast<float>(incident(b));
+    const float c = static_cast<float>(grid.base_capacity(e)) - pressure;
+    cap[static_cast<std::size_t>(e)] = c > 0.0f ? c : 0.0f;
+  }
+  return cap;
+}
+
+}  // namespace dgr::grid

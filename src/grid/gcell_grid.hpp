@@ -1,0 +1,117 @@
+#pragma once
+// G-cell grid model for 2D global routing.
+//
+// The routing region is a W x H grid of g-cells with L routing layers, each
+// layer having a preferred direction (horizontal or vertical) and a track
+// count. 2D routing collapses the layers into per-direction capacities on
+// the g-cell edges; layer assignment (src/post) re-expands the solution to 3D.
+//
+// Edge indexing convention (used by every module):
+//   - horizontal edges connect (x,y)-(x+1,y), id = y*(W-1)+x, 0 <= x < W-1
+//   - vertical   edges connect (x,y)-(x,y+1), id = Eh + y*W+x, 0 <= y < H-1
+// with Eh = (W-1)*H. Ids fit in 32 bits for any grid we handle (<= 4000^2).
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace dgr::grid {
+
+using geom::Coord;
+using geom::Point;
+
+using EdgeId = std::int32_t;
+using CellId = std::int32_t;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+enum class Dir : std::uint8_t { kHorizontal = 0, kVertical = 1 };
+
+struct LayerInfo {
+  Dir dir = Dir::kHorizontal;
+  int tracks = 0;  ///< routing tracks available per g-cell edge on this layer
+};
+
+/// Immutable description of the routing grid.
+class GCellGrid {
+ public:
+  GCellGrid() = default;
+  GCellGrid(int width, int height, std::vector<LayerInfo> layers);
+
+  /// Convenience factory: `layer_count` layers alternating H,V,H,... with
+  /// `tracks_per_layer` tracks each. Layer 0 is conventionally the pin layer
+  /// and carries 0 tracks when `reserve_pin_layer` is set.
+  static GCellGrid uniform(int width, int height, int layer_count, int tracks_per_layer,
+                           bool reserve_pin_layer = false);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int layer_count() const { return static_cast<int>(layers_.size()); }
+  const std::vector<LayerInfo>& layers() const { return layers_; }
+
+  CellId cell_count() const { return static_cast<CellId>(width_) * height_; }
+  CellId cell_id(Point p) const { return static_cast<CellId>(p.y) * width_ + p.x; }
+  Point cell_point(CellId c) const { return Point{static_cast<Coord>(c % width_),
+                                                  static_cast<Coord>(c / width_)}; }
+  bool in_bounds(Point p) const {
+    return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+  }
+
+  EdgeId h_edge_count() const { return static_cast<EdgeId>(width_ - 1) * height_; }
+  EdgeId v_edge_count() const { return static_cast<EdgeId>(width_) * (height_ - 1); }
+  EdgeId edge_count() const { return h_edge_count() + v_edge_count(); }
+
+  /// Horizontal edge between (x,y) and (x+1,y).
+  EdgeId h_edge(Coord x, Coord y) const { return static_cast<EdgeId>(y) * (width_ - 1) + x; }
+  /// Vertical edge between (x,y) and (x,y+1).
+  EdgeId v_edge(Coord x, Coord y) const {
+    return h_edge_count() + static_cast<EdgeId>(y) * width_ + x;
+  }
+
+  /// Edge between two 4-adjacent cells; kInvalidEdge if not adjacent.
+  EdgeId edge_between(Point a, Point b) const;
+
+  Dir edge_dir(EdgeId e) const {
+    return e < h_edge_count() ? Dir::kHorizontal : Dir::kVertical;
+  }
+  /// The two cells an edge joins (lower coordinate first).
+  std::pair<Point, Point> edge_cells(EdgeId e) const;
+
+  /// Total tracks across layers whose preferred direction matches `dir`.
+  int direction_tracks(Dir dir) const {
+    return dir == Dir::kHorizontal ? h_tracks_ : v_tracks_;
+  }
+  /// Number of layers with the given preferred direction.
+  int direction_layers(Dir dir) const {
+    return dir == Dir::kHorizontal ? h_layers_ : v_layers_;
+  }
+  /// Base 2D capacity of edge e = direction_tracks(edge_dir(e)).
+  int base_capacity(EdgeId e) const { return direction_tracks(edge_dir(e)); }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<LayerInfo> layers_;
+  int h_tracks_ = 0;
+  int v_tracks_ = 0;
+  int h_layers_ = 0;
+  int v_layers_ = 0;
+};
+
+/// Inputs to the capacity formula (Eq. 1 of the paper):
+///   cap_e = track_e - beta_v * pin_density_v - local_net_v
+/// pin_density and local_nets are per-cell statistics computed from the
+/// design; beta follows CUGR2 (a per-cell weight, uniform by default).
+struct CapacityInputs {
+  std::vector<float> pin_density;  ///< per cell; empty = all zero
+  std::vector<float> local_nets;   ///< per cell; empty = all zero
+  std::vector<float> beta;         ///< per cell; empty = uniform beta_default
+  float beta_default = 0.5f;
+};
+
+/// Computes the per-edge 2D capacity vector. Each edge is charged half of
+/// each endpoint cell's pin/local-net pressure (the cell pressure is split
+/// across the directions' edges), and capacities are clamped at >= 0.
+std::vector<float> compute_capacities(const GCellGrid& grid, const CapacityInputs& in);
+
+}  // namespace dgr::grid

@@ -1,0 +1,157 @@
+#include "ilp/routing_ilp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dgr::ilp {
+
+using dag::DagForest;
+
+namespace {
+
+void check_protocol(const DagForest& forest) {
+  const auto& offsets = forest.net_tree_offsets();
+  for (std::size_t n = 0; n + 1 < offsets.size(); ++n) {
+    if (offsets[n + 1] - offsets[n] != 1) {
+      throw std::invalid_argument("routing_ilp: exactly one tree candidate per net required");
+    }
+  }
+  if (forest.options().via_demand_beta != 0.0f) {
+    throw std::invalid_argument("routing_ilp: via_demand_beta must be 0 (wire-only protocol)");
+  }
+}
+
+}  // namespace
+
+RoutingIlp build_routing_ilp(const DagForest& forest, const std::vector<float>& capacities) {
+  check_protocol(forest);
+  RoutingIlp out;
+
+  const auto& paths = forest.paths();
+  out.path_var.resize(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    out.path_var[i] = out.lp.add_var(0.0);  // selection vars cost nothing
+    out.integer_vars.push_back(out.path_var[i]);
+  }
+
+  // One-of-each-subnet equality (Eq. 7).
+  for (const dag::Subnet& s : forest.subnets()) {
+    std::vector<std::pair<int, double>> terms;
+    for (std::int32_t i = s.path_begin; i < s.path_end; ++i) {
+      terms.emplace_back(out.path_var[static_cast<std::size_t>(i)], 1.0);
+    }
+    out.lp.add_constraint(std::move(terms), Rel::kEq, 1.0);
+  }
+
+  // Per-edge overflow constraints on contended edges only.
+  const auto& eo = forest.edge_inc_offsets();
+  const auto& ep = forest.edge_inc_paths();
+  for (std::size_t e = 0; e + 1 < eo.size(); ++e) {
+    const std::uint32_t lo = eo[e], hi = eo[e + 1];
+    const double cap = capacities[e];
+    if (static_cast<double>(hi - lo) <= cap) continue;  // cannot overflow
+    const int o_var = out.lp.add_var(1.0);  // overflow contributes to objective
+    std::vector<std::pair<int, double>> terms;
+    terms.reserve(hi - lo + 1);
+    for (std::uint32_t k = lo; k < hi; ++k) {
+      terms.emplace_back(out.path_var[static_cast<std::size_t>(ep[k])], 1.0);
+    }
+    terms.emplace_back(o_var, -1.0);
+    out.lp.add_constraint(std::move(terms), Rel::kLe, cap);
+    ++out.contended_edges;
+  }
+  return out;
+}
+
+RoutingIlpResult solve_routing_ilp(const DagForest& forest,
+                                   const std::vector<float>& capacities,
+                                   const MilpOptions& options) {
+  const RoutingIlp model = build_routing_ilp(forest, capacities);
+  RoutingIlpResult out;
+  out.milp = solve_milp(model.lp, model.integer_vars, options);
+  if (!out.milp.has_incumbent) return out;
+  out.overflow = out.milp.objective;
+
+  // Decode selection into a RouteSolution.
+  out.solution.design = &forest.design();
+  out.solution.nets.resize(forest.net_count());
+  for (std::size_t n = 0; n < forest.net_count(); ++n) {
+    out.solution.nets[n].design_net = forest.design_net(n);
+  }
+  for (const dag::Subnet& s : forest.subnets()) {
+    std::int32_t best = s.path_begin;
+    double best_val = -1.0;
+    for (std::int32_t i = s.path_begin; i < s.path_end; ++i) {
+      const double v = out.milp.x[static_cast<std::size_t>(
+          model.path_var[static_cast<std::size_t>(i)])];
+      if (v > best_val) {
+        best_val = v;
+        best = i;
+      }
+    }
+    const auto& tc = forest.trees()[static_cast<std::size_t>(s.tree)];
+    out.solution.nets[static_cast<std::size_t>(tc.net)].paths.push_back(
+        forest.path_geometry(static_cast<std::size_t>(best)));
+  }
+  return out;
+}
+
+double brute_force_min_overflow(const DagForest& forest,
+                                const std::vector<float>& capacities,
+                                std::uint64_t max_combinations) {
+  check_protocol(forest);
+  const auto& subnets = forest.subnets();
+  const auto& paths = forest.paths();
+
+  // Combination count guard.
+  std::uint64_t combos = 1;
+  for (const dag::Subnet& s : subnets) {
+    combos *= static_cast<std::uint64_t>(s.path_end - s.path_begin);
+    if (combos > max_combinations) return -1.0;
+  }
+
+  std::vector<std::size_t> choice(subnets.size(), 0);
+  std::vector<double> demand(capacities.size(), 0.0);
+
+  auto apply = [&](std::size_t subnet_idx, double sign) {
+    const dag::Subnet& s = subnets[subnet_idx];
+    const dag::PathCandidate& pc =
+        paths[static_cast<std::size_t>(s.path_begin) + choice[subnet_idx]];
+    for (std::uint32_t k = pc.inc_begin; k < pc.inc_end; ++k) {
+      demand[static_cast<std::size_t>(forest.inc_edges()[k])] +=
+          sign * forest.inc_weights()[k];
+    }
+  };
+
+  for (std::size_t s = 0; s < subnets.size(); ++s) apply(s, +1.0);
+
+  auto total_overflow = [&] {
+    double total = 0.0;
+    for (std::size_t e = 0; e < demand.size(); ++e) {
+      total += std::max(0.0, demand[e] - static_cast<double>(capacities[e]));
+    }
+    return total;
+  };
+
+  double best = total_overflow();
+  // Odometer enumeration.
+  for (;;) {
+    std::size_t s = 0;
+    for (; s < subnets.size(); ++s) {
+      const auto count = static_cast<std::size_t>(subnets[s].path_end - subnets[s].path_begin);
+      apply(s, -1.0);
+      if (choice[s] + 1 < count) {
+        ++choice[s];
+        apply(s, +1.0);
+        break;
+      }
+      choice[s] = 0;
+      apply(s, +1.0);
+    }
+    if (s == subnets.size()) break;  // odometer wrapped
+    best = std::min(best, total_overflow());
+  }
+  return best;
+}
+
+}  // namespace dgr::ilp

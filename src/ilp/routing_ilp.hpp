@@ -1,0 +1,52 @@
+#pragma once
+// Routing -> MILP translation for the Table 1 ILP comparison.
+//
+// Protocol (Section 5.1 of the paper): one FLUTE tree per net, select one
+// L-shape path per 2-pin sub-net, minimise total ReLU overflow
+// Σ_e max(0, d_e - cap_e). Linearised as
+//   min Σ_e o_e
+//   s.t. Σ_{i ∈ subnet s} x_i = 1                       ∀ s
+//        Σ_{i crossing e} x_i - o_e <= cap_e            ∀ contended e
+//        x binary, o >= 0
+// Edges crossed by at most cap_e candidate paths can never overflow and are
+// pruned (no o_e variable, no constraint), which keeps the dense simplex
+// tractable at Table 1 sizes.
+
+#include <vector>
+
+#include "dag/forest.hpp"
+#include "eval/solution.hpp"
+#include "ilp/branch_bound.hpp"
+
+namespace dgr::ilp {
+
+struct RoutingIlp {
+  LinearProgram lp;
+  std::vector<int> path_var;       ///< LP var per forest path candidate
+  std::vector<int> integer_vars;   ///< the path vars
+  std::size_t contended_edges = 0; ///< edges that got an overflow variable
+};
+
+/// Requires a forest built with exactly one tree candidate per net and zero
+/// via demand (via_demand_beta = 0); throws otherwise.
+RoutingIlp build_routing_ilp(const dag::DagForest& forest,
+                             const std::vector<float>& capacities);
+
+struct RoutingIlpResult {
+  MilpResult milp;
+  double overflow = 0.0;           ///< objective = total ReLU overflow
+  eval::RouteSolution solution;    ///< decoded path selection (if incumbent)
+};
+
+RoutingIlpResult solve_routing_ilp(const dag::DagForest& forest,
+                                   const std::vector<float>& capacities,
+                                   const MilpOptions& options = {});
+
+/// Exhaustive oracle for tiny instances (Π path-choices <= max_combinations):
+/// exact minimum ReLU overflow, used to validate the MILP solver in tests.
+/// Returns -1 if the instance is too large.
+double brute_force_min_overflow(const dag::DagForest& forest,
+                                const std::vector<float>& capacities,
+                                std::uint64_t max_combinations = 2000000);
+
+}  // namespace dgr::ilp

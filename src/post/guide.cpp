@@ -1,0 +1,174 @@
+#include "post/guide.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace dgr::post {
+
+using eval::RouteSolution;
+using geom::Point;
+using geom::Rect;
+
+namespace {
+
+Rect clamp_rect(Rect r, const grid::GCellGrid& grid) {
+  r.lo.x = std::max<geom::Coord>(r.lo.x, 0);
+  r.lo.y = std::max<geom::Coord>(r.lo.y, 0);
+  r.hi.x = std::min<geom::Coord>(r.hi.x, static_cast<geom::Coord>(grid.width() - 1));
+  r.hi.y = std::min<geom::Coord>(r.hi.y, static_cast<geom::Coord>(grid.height() - 1));
+  return r;
+}
+
+/// Walks one net's legs in the same order assign_layers() enumerates them.
+template <typename Fn>
+void for_each_leg(const eval::NetRoute& net, Fn&& fn) {
+  std::size_t flat = 0;
+  for (const dag::PatternPath& path : net.paths) {
+    for (std::size_t k = 0; k + 1 < path.waypoints.size(); ++k) {
+      const Point a = path.waypoints[k];
+      const Point b = path.waypoints[k + 1];
+      if (a == b) continue;
+      fn(flat++, a, b);
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t RouteGuides::box_count() const {
+  std::size_t total = 0;
+  for (const NetGuide& net : nets) total += net.boxes.size();
+  return total;
+}
+
+RouteGuides make_guides(const RouteSolution& sol, const LayerAssignment& layers,
+                        const GuideOptions& options) {
+  RouteGuides out;
+  const design::Design& design = *sol.design;
+  const grid::GCellGrid& grid = design.grid();
+  const int pin_layer = 0;
+
+  out.nets.reserve(sol.nets.size());
+  for (std::size_t n = 0; n < sol.nets.size(); ++n) {
+    const eval::NetRoute& net = sol.nets[n];
+    NetGuide guide;
+    guide.design_net = net.design_net;
+
+    // Wire boxes: one per leg on its assigned layer.
+    // Track, per cell the net touches, the layer span needed (for vias).
+    std::map<Point, std::pair<int, int>> span;  // cell -> (min layer, max layer)
+    auto widen = [&](const Point& p, int layer) {
+      auto [it, inserted] = span.emplace(p, std::pair{layer, layer});
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, layer);
+        it->second.second = std::max(it->second.second, layer);
+      }
+    };
+
+    for_each_leg(net, [&](std::size_t flat, Point a, Point b) {
+      const int layer = layers.leg_layers[n][flat];
+      guide.boxes.push_back(
+          {clamp_rect(Rect::bounding_box({a, b}).inflated(options.margin), grid), layer});
+      widen(a, layer);
+      widen(b, layer);
+    });
+
+    // Pins must be reachable at the pin layer.
+    for (const Point& pin : design.net(net.design_net).pins) widen(pin, pin_layer);
+    // Degenerate single-cell routes still claim their cell.
+    for (const dag::PatternPath& path : net.paths) {
+      if (path.waypoints.size() == 2 && path.waypoints[0] == path.waypoints[1]) {
+        widen(path.waypoints[0], pin_layer);
+      }
+    }
+
+    // Via stacks: a 1x1 box on every layer in each cell's span.
+    for (const auto& [cell, lohi] : span) {
+      for (int l = lohi.first; l <= lohi.second; ++l) {
+        const GuideBox box{clamp_rect(Rect{cell, cell}.inflated(options.margin), grid), l};
+        if (std::find(guide.boxes.begin(), guide.boxes.end(), box) == guide.boxes.end()) {
+          guide.boxes.push_back(box);
+        }
+      }
+    }
+    out.nets.push_back(std::move(guide));
+  }
+  return out;
+}
+
+bool guides_cover_solution(const RouteGuides& guides, const RouteSolution& sol,
+                           const LayerAssignment& layers, int pin_layer) {
+  if (guides.nets.size() != sol.nets.size()) return false;
+  const design::Design& design = *sol.design;
+
+  for (std::size_t n = 0; n < sol.nets.size(); ++n) {
+    const NetGuide& guide = guides.nets[n];
+    auto covered = [&](Point p, int layer) {
+      for (const GuideBox& box : guide.boxes) {
+        if (box.layer == layer && box.rect.contains(p)) return true;
+      }
+      return false;
+    };
+
+    // Every leg cell at the assigned layer.
+    bool ok = true;
+    for_each_leg(sol.nets[n], [&](std::size_t flat, Point a, Point b) {
+      const int layer = layers.leg_layers[n][flat];
+      const Rect r = Rect::bounding_box({a, b});
+      for (geom::Coord y = r.lo.y; y <= r.hi.y && ok; ++y) {
+        for (geom::Coord x = r.lo.x; x <= r.hi.x && ok; ++x) {
+          if (!covered({x, y}, layer)) ok = false;
+        }
+      }
+    });
+    if (!ok) return false;
+
+    // Every pin at the pin layer.
+    for (const Point& pin : design.net(sol.nets[n].design_net).pins) {
+      if (!covered(pin, pin_layer)) return false;
+    }
+
+    // Via continuity at junctions: wherever the net's legs meet (leg
+    // endpoints) or reach a pin, every layer between the lowest and highest
+    // incident layer must be covered, or the via stack has a gap. Crossings
+    // mid-leg on different layers need no via and are not checked.
+    std::map<Point, std::pair<int, int>> span;
+    auto widen = [&](const Point& p, int layer) {
+      auto [it, inserted] = span.emplace(p, std::pair{layer, layer});
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, layer);
+        it->second.second = std::max(it->second.second, layer);
+      }
+    };
+    for_each_leg(sol.nets[n], [&](std::size_t flat, Point a, Point b) {
+      const int layer = layers.leg_layers[n][flat];
+      widen(a, layer);
+      widen(b, layer);
+    });
+    for (const Point& pin : design.net(sol.nets[n].design_net).pins) {
+      widen(pin, pin_layer);
+    }
+    for (const auto& [cell, lohi] : span) {
+      for (int l = lohi.first; l <= lohi.second; ++l) {
+        if (!covered(cell, l)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+void write_guides(std::ostream& os, const RouteGuides& guides,
+                  const design::Design& design) {
+  for (const NetGuide& net : guides.nets) {
+    os << design.net(net.design_net).name << "\n(\n";
+    for (const GuideBox& box : net.boxes) {
+      os << box.rect.lo.x << " " << box.rect.lo.y << " " << box.rect.hi.x << " "
+         << box.rect.hi.y << " " << box.layer << "\n";
+    }
+    os << ")\n";
+  }
+}
+
+}  // namespace dgr::post

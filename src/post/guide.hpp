@@ -1,0 +1,61 @@
+#pragma once
+// Routing guides — the final output of the global routing flow ("The final
+// output is a comprehensive guide for detailed routing", Section 4.6).
+//
+// A guide is, per net, a set of 3D g-cell boxes (x/y rectangle + layer) the
+// detailed router must stay inside: one box per assigned wire leg, a via
+// stack of 1x1 boxes wherever the net changes layer or reaches a pin, all
+// optionally inflated by a margin (detailed routers want slack).
+
+#include <iosfwd>
+#include <vector>
+
+#include "eval/solution.hpp"
+#include "post/layer_assign.hpp"
+
+namespace dgr::post {
+
+struct GuideBox {
+  geom::Rect rect;  ///< g-cell x/y extent (closed)
+  int layer = 0;
+
+  friend bool operator==(const GuideBox&, const GuideBox&) = default;
+};
+
+struct NetGuide {
+  std::size_t design_net = 0;
+  std::vector<GuideBox> boxes;
+};
+
+struct RouteGuides {
+  std::vector<NetGuide> nets;
+
+  /// Total number of boxes (guide volume proxy).
+  std::size_t box_count() const;
+};
+
+struct GuideOptions {
+  int margin = 0;  ///< inflate every box by this many g-cells (grid-clamped)
+};
+
+/// Builds guides from a routed 2D solution plus its layer assignment. The
+/// assignment must come from assign_layers() on the same solution.
+RouteGuides make_guides(const eval::RouteSolution& sol, const LayerAssignment& layers,
+                        const GuideOptions& options = {});
+
+/// True iff every wire leg's cells are covered by a same-layer guide box of
+/// its net, every pin is covered at the pin layer, and per net the boxes of
+/// adjacent layers touch wherever the net changes layer (via continuity).
+bool guides_cover_solution(const RouteGuides& guides, const eval::RouteSolution& sol,
+                           const LayerAssignment& layers, int pin_layer = 0);
+
+/// ISPD'19-flavoured text dump:
+///   <net name>
+///   (
+///   x_lo y_lo x_hi y_hi layer
+///   ...
+///   )
+void write_guides(std::ostream& os, const RouteGuides& guides,
+                  const design::Design& design);
+
+}  // namespace dgr::post

@@ -1,0 +1,328 @@
+#include "post/layer_assign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace dgr::post {
+
+using eval::RouteSolution;
+using geom::Point;
+using grid::Dir;
+using grid::EdgeId;
+using grid::GCellGrid;
+
+namespace {
+
+struct Leg {
+  Point u, v;
+  Dir dir = Dir::kHorizontal;
+  std::vector<EdgeId> edges;  ///< g-cell edges along the leg
+  std::size_t flat_index = 0; ///< position in the output leg_layers[net]
+};
+
+/// Straight legs of one net's paths (zero-length legs dropped). flat_index
+/// counts only the kept legs, in enumeration order.
+std::vector<Leg> collect_legs(const GCellGrid& grid, const eval::NetRoute& net) {
+  std::vector<Leg> legs;
+  std::size_t flat = 0;
+  for (const dag::PatternPath& path : net.paths) {
+    for (std::size_t k = 0; k + 1 < path.waypoints.size(); ++k) {
+      const Point a = path.waypoints[k];
+      const Point b = path.waypoints[k + 1];
+      if (a == b) continue;
+      Leg leg;
+      leg.u = a;
+      leg.v = b;
+      leg.dir = (a.y == b.y) ? Dir::kHorizontal : Dir::kVertical;
+      leg.edges = dag::PatternPath{{a, b}}.edges(grid);
+      leg.flat_index = flat++;
+      legs.push_back(std::move(leg));
+    }
+  }
+  return legs;
+}
+
+}  // namespace
+
+LayerAssignment assign_layers(const RouteSolution& sol,
+                              const std::vector<float>& capacities_2d,
+                              const LayerAssignOptions& options) {
+  LayerAssignment out;
+  const design::Design& design = *sol.design;
+  const GCellGrid& grid = design.grid();
+  const int L = grid.layer_count();
+
+  // Layer options per direction and per-layer capacity share.
+  std::vector<int> h_layers, v_layers;
+  for (int l = 0; l < L; ++l) {
+    if (grid.layers()[static_cast<std::size_t>(l)].tracks <= 0) continue;
+    (grid.layers()[static_cast<std::size_t>(l)].dir == Dir::kHorizontal ? h_layers
+                                                                        : v_layers)
+        .push_back(l);
+  }
+  // Fallback: if a direction has no tracked layer, allow every layer of that
+  // direction anyway (degenerate stacks in tests).
+  if (h_layers.empty()) {
+    for (int l = 0; l < L; ++l) {
+      if (grid.layers()[static_cast<std::size_t>(l)].dir == Dir::kHorizontal)
+        h_layers.push_back(l);
+    }
+  }
+  if (v_layers.empty()) {
+    for (int l = 0; l < L; ++l) {
+      if (grid.layers()[static_cast<std::size_t>(l)].dir == Dir::kVertical)
+        v_layers.push_back(l);
+    }
+  }
+
+  // Capacity share of one layer: the 2D capacity (which already folds in the
+  // Eq. 1 pin/local-net pressure) split evenly across same-direction layers.
+  auto layer_cap = [&](int /*layer*/, EdgeId e) -> double {
+    const Dir d = grid.edge_dir(e);
+    const int n_dir = d == Dir::kHorizontal ? static_cast<int>(h_layers.size())
+                                            : static_cast<int>(v_layers.size());
+    return static_cast<double>(capacities_2d[static_cast<std::size_t>(e)]) /
+           std::max(1, n_dir);
+  };
+
+  // Live per-layer demand.
+  std::vector<std::vector<double>> layer_demand(
+      static_cast<std::size_t>(L),
+      std::vector<double>(static_cast<std::size_t>(grid.edge_count()), 0.0));
+
+  out.leg_layers.resize(sol.nets.size());
+
+  for (std::size_t n = 0; n < sol.nets.size(); ++n) {
+    const eval::NetRoute& net = sol.nets[n];
+    std::vector<Leg> legs = collect_legs(grid, net);
+    out.leg_layers[n].assign(legs.size(), options.pin_layer);
+    if (legs.empty()) continue;
+
+    // Junction graph.
+    std::map<Point, int> junction_of;
+    auto junction = [&](const Point& p) {
+      auto [it, ins] = junction_of.emplace(p, static_cast<int>(junction_of.size()));
+      (void)ins;
+      return it->second;
+    };
+    std::vector<std::vector<std::size_t>> adj;  // junction -> incident leg ids
+    auto touch = [&](int j) {
+      if (static_cast<std::size_t>(j) >= adj.size()) adj.resize(static_cast<std::size_t>(j) + 1);
+    };
+    std::vector<std::pair<int, int>> leg_ends(legs.size());
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      const int ju = junction(legs[i].u);
+      const int jv = junction(legs[i].v);
+      touch(ju);
+      touch(jv);
+      adj[static_cast<std::size_t>(ju)].push_back(i);
+      adj[static_cast<std::size_t>(jv)].push_back(i);
+      leg_ends[i] = {ju, jv};
+    }
+
+    // Pin junctions (for pin-access via cost).
+    std::vector<bool> is_pin(adj.size(), false);
+    for (const Point& pin : design.net(net.design_net).pins) {
+      auto it = junction_of.find(pin);
+      if (it != junction_of.end()) is_pin[static_cast<std::size_t>(it->second)] = true;
+    }
+
+    // Spanning tree by BFS from junction 0; duplicate/cycle legs become
+    // "extra" legs assigned greedily afterwards.
+    std::vector<std::size_t> parent_leg(adj.size(), SIZE_MAX);
+    std::vector<int> bfs_order;
+    std::vector<bool> visited(adj.size(), false);
+    std::vector<bool> leg_in_tree(legs.size(), false);
+    bfs_order.push_back(0);
+    visited[0] = true;
+    for (std::size_t head = 0; head < bfs_order.size(); ++head) {
+      const int j = bfs_order[head];
+      for (const std::size_t li : adj[static_cast<std::size_t>(j)]) {
+        const auto [a, b] = leg_ends[li];
+        const int other = a == j ? b : a;
+        if (visited[static_cast<std::size_t>(other)]) continue;
+        visited[static_cast<std::size_t>(other)] = true;
+        parent_leg[static_cast<std::size_t>(other)] = li;
+        leg_in_tree[li] = true;
+        bfs_order.push_back(other);
+      }
+    }
+
+    auto options_for = [&](Dir d) -> const std::vector<int>& {
+      return d == Dir::kHorizontal ? h_layers : v_layers;
+    };
+    auto leg_cost = [&](const Leg& leg, int layer) -> double {
+      double c = 0.0;
+      for (const EdgeId e : leg.edges) {
+        const double over = layer_demand[static_cast<std::size_t>(layer)]
+                                        [static_cast<std::size_t>(e)] +
+                            1.0 - layer_cap(layer, e);
+        if (over > 0.0) c += options.overflow_penalty * over;
+      }
+      return c;
+    };
+
+    // Bottom-up DP over tree legs. best[leg][option] = leg cost + subtree
+    // below the leg's child junction. choice[leg][option][child_leg] is
+    // implied by re-minimising during top-down commit.
+    std::vector<std::vector<double>> best(legs.size());
+    // Children of a junction in the tree = incident tree legs except parent.
+    auto children_of = [&](int j) {
+      std::vector<std::size_t> out_legs;
+      for (const std::size_t li : adj[static_cast<std::size_t>(j)]) {
+        if (!leg_in_tree[li]) continue;
+        // li is a child leg of j iff its far endpoint was discovered via li.
+        const auto [a, b] = leg_ends[li];
+        const int other = (a == j) ? b : a;
+        if (parent_leg[static_cast<std::size_t>(other)] == li) out_legs.push_back(li);
+      }
+      return out_legs;
+    };
+
+    // Reverse BFS order = bottom-up.
+    for (auto it = bfs_order.rbegin(); it != bfs_order.rend(); ++it) {
+      const int j = *it;
+      const std::size_t pl = parent_leg[static_cast<std::size_t>(j)];
+      if (pl == SIZE_MAX) continue;  // root has no incoming leg
+      const Leg& leg = legs[pl];
+      const auto& opts = options_for(leg.dir);
+      best[pl].assign(opts.size(), 0.0);
+      const std::vector<std::size_t> kids = children_of(j);
+      for (std::size_t oi = 0; oi < opts.size(); ++oi) {
+        const int layer = opts[oi];
+        double c = leg_cost(leg, layer);
+        if (is_pin[static_cast<std::size_t>(j)]) {
+          c += options.via_weight * std::abs(layer - options.pin_layer);
+        }
+        for (const std::size_t kid : kids) {
+          const auto& kopts = options_for(legs[kid].dir);
+          double kbest = std::numeric_limits<double>::infinity();
+          for (std::size_t ki = 0; ki < kopts.size(); ++ki) {
+            kbest = std::min(kbest, best[kid][ki] +
+                                        options.via_weight *
+                                            std::abs(layer - kopts[ki]));
+          }
+          c += kbest;
+        }
+        best[pl][oi] = c;
+      }
+    }
+
+    // Top-down commit.
+    std::vector<int> leg_layer(legs.size(), -1);
+    // Root junction: choose each child leg's layer including the root pin via.
+    {
+      const int root = bfs_order.front();
+      for (const std::size_t kid : children_of(root)) {
+        const auto& kopts = options_for(legs[kid].dir);
+        std::size_t bi = 0;
+        double bc = std::numeric_limits<double>::infinity();
+        for (std::size_t ki = 0; ki < kopts.size(); ++ki) {
+          double c = best[kid][ki];
+          if (is_pin[static_cast<std::size_t>(root)]) {
+            c += options.via_weight * std::abs(kopts[ki] - options.pin_layer);
+          }
+          if (c < bc) {
+            bc = c;
+            bi = ki;
+          }
+        }
+        leg_layer[kid] = kopts[bi];
+      }
+    }
+    for (std::size_t head = 1; head < bfs_order.size(); ++head) {
+      const int j = bfs_order[head];
+      const std::size_t pl = parent_leg[static_cast<std::size_t>(j)];
+      const int player = leg_layer[pl];
+      for (const std::size_t kid : children_of(j)) {
+        const auto& kopts = options_for(legs[kid].dir);
+        std::size_t bi = 0;
+        double bc = std::numeric_limits<double>::infinity();
+        for (std::size_t ki = 0; ki < kopts.size(); ++ki) {
+          const double c =
+              best[kid][ki] + options.via_weight * std::abs(player - kopts[ki]);
+          if (c < bc) {
+            bc = c;
+            bi = ki;
+          }
+        }
+        leg_layer[kid] = kopts[bi];
+      }
+    }
+    // Extra (cycle) legs: independent greedy choice.
+    for (std::size_t li = 0; li < legs.size(); ++li) {
+      if (leg_layer[li] >= 0) continue;
+      const auto& opts = options_for(legs[li].dir);
+      std::size_t bi = 0;
+      double bc = std::numeric_limits<double>::infinity();
+      for (std::size_t oi = 0; oi < opts.size(); ++oi) {
+        const double c = leg_cost(legs[li], opts[oi]);
+        if (c < bc) {
+          bc = c;
+          bi = oi;
+        }
+      }
+      leg_layer[li] = opts[bi];
+    }
+
+    // Commit demand and record.
+    for (std::size_t li = 0; li < legs.size(); ++li) {
+      for (const EdgeId e : legs[li].edges) {
+        layer_demand[static_cast<std::size_t>(leg_layer[li])]
+                    [static_cast<std::size_t>(e)] += 1.0;
+      }
+      out.leg_layers[n][legs[li].flat_index] = leg_layer[li];
+    }
+
+    // Exact via count at junctions: span of incident leg layers (+ pin layer).
+    for (std::size_t j = 0; j < adj.size(); ++j) {
+      int lo = std::numeric_limits<int>::max();
+      int hi = std::numeric_limits<int>::min();
+      for (const std::size_t li : adj[j]) {
+        lo = std::min(lo, leg_layer[li]);
+        hi = std::max(hi, leg_layer[li]);
+      }
+      if (is_pin[j]) {
+        lo = std::min(lo, options.pin_layer);
+        hi = std::max(hi, options.pin_layer);
+      }
+      if (lo <= hi) out.via_count += hi - lo;
+    }
+  }
+
+  // Post-assignment overflow statistics.
+  std::vector<std::vector<bool>> layer_over(
+      static_cast<std::size_t>(L),
+      std::vector<bool>(static_cast<std::size_t>(grid.edge_count()), false));
+  for (int l = 0; l < L; ++l) {
+    for (EdgeId e = 0; e < grid.edge_count(); ++e) {
+      const double d = layer_demand[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)];
+      const double cap = layer_cap(l, e);
+      if (d > cap + 1e-6) {
+        layer_over[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)] = true;
+        ++out.overflowed_layer_edges;
+        out.layer_overflow_total += d - cap;
+      }
+    }
+  }
+  for (std::size_t n = 0; n < sol.nets.size(); ++n) {
+    const std::vector<Leg> legs = collect_legs(grid, sol.nets[n]);
+    bool over = false;
+    for (const Leg& leg : legs) {
+      const int l = out.leg_layers[n][leg.flat_index];
+      for (const EdgeId e : leg.edges) {
+        if (layer_over[static_cast<std::size_t>(l)][static_cast<std::size_t>(e)]) {
+          over = true;
+          break;
+        }
+      }
+      if (over) break;
+    }
+    if (over) ++out.nets_with_overflow;
+  }
+  return out;
+}
+
+}  // namespace dgr::post

@@ -1,0 +1,43 @@
+#pragma once
+// Dynamic-programming layer assignment (Section 4.6; the paper reuses
+// CUGR2's DP). Expands a 2D RouteSolution to 3D:
+//
+//  * every straight leg of every routed path is assigned to a routing layer
+//    whose preferred direction matches the leg,
+//  * per net, a bottom-up tree DP over the leg graph minimises
+//    via cost (|layer difference| at junctions, plus pin-access vias down to
+//    the pin layer) + per-layer congestion cost,
+//  * nets are processed sequentially against live per-layer demand maps
+//    (2D capacity split evenly across same-direction layers).
+//
+// Outputs the paper's 3D metrics: total via count, # overflowed layer edges,
+// and # nets with overflow after layer assignment (Fig. 6's n1).
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/solution.hpp"
+
+namespace dgr::post {
+
+struct LayerAssignOptions {
+  double via_weight = 2.0;         ///< DP cost per layer crossed by a via
+  double overflow_penalty = 50.0;  ///< DP cost per unit of layer-edge overuse
+  int pin_layer = 0;               ///< layer pins sit on (metal1)
+};
+
+struct LayerAssignment {
+  /// leg_layers[n][k] = assigned layer of the k-th leg of net n (legs are
+  /// enumerated path-by-path, waypoint-pair order; zero-length legs skipped).
+  std::vector<std::vector<int>> leg_layers;
+  std::int64_t via_count = 0;
+  std::int64_t overflowed_layer_edges = 0;  ///< (layer, g-cell edge) pairs over cap
+  std::int64_t nets_with_overflow = 0;      ///< n1 of the Fig. 6 metric
+  double layer_overflow_total = 0.0;
+};
+
+LayerAssignment assign_layers(const eval::RouteSolution& sol,
+                              const std::vector<float>& capacities_2d,
+                              const LayerAssignOptions& options = {});
+
+}  // namespace dgr::post

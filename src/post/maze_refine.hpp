@@ -1,0 +1,34 @@
+#pragma once
+// Maze-routing refinement (Section 4.6): after pattern routing, nets that
+// cross overflowed g-cell edges are ripped up and rerouted with a
+// congestion-priced maze search; a reroute is kept only if it improves the
+// weighted (overflow, wirelength, via) cost, so refinement is monotone.
+
+#include "eval/solution.hpp"
+
+namespace dgr::post {
+
+struct MazeRefineOptions {
+  int max_rounds = 3;
+  float via_beta = 0.5f;          ///< via demand model (matches optimisation)
+  double overflow_weight = 500.0; ///< acceptance cost weights (ICCAD'19)
+  double via_weight = 4.0;
+  double wl_weight = 0.5;
+  double congestion_price = 500.0;  ///< maze edge price per unit of overuse
+};
+
+struct MazeRefineStats {
+  int rounds_run = 0;
+  std::int64_t nets_rerouted = 0;
+  std::int64_t nets_improved = 0;
+  double overflow_before = 0.0;
+  double overflow_after = 0.0;
+};
+
+/// Refines `sol` in place. Returns stats; guarantees the weighted cost never
+/// increases and the solution stays pin-connected.
+MazeRefineStats maze_refine(eval::RouteSolution& sol,
+                            const std::vector<float>& capacities,
+                            const MazeRefineOptions& options = {});
+
+}  // namespace dgr::post

@@ -1,0 +1,35 @@
+#pragma once
+// Shared maze-routing machinery for the sequential baseline routers and the
+// post-processing refinement stage: multi-source Dijkstra over the g-cell
+// graph with a caller-supplied edge cost, and helpers to turn cell walks
+// into PatternPath polylines.
+
+#include <functional>
+#include <vector>
+
+#include "dag/path.hpp"
+#include "grid/gcell_grid.hpp"
+
+namespace dgr::routers {
+
+using dag::PatternPath;
+using geom::Point;
+using grid::EdgeId;
+using grid::GCellGrid;
+
+struct MazeResult {
+  bool found = false;
+  double cost = 0.0;
+  std::vector<Point> cells;  ///< source cell ... target cell (inclusive)
+};
+
+/// Dijkstra from any of `sources` (all seeded at distance 0) to `target`.
+/// `edge_cost` must return a strictly positive cost per g-cell edge.
+MazeResult maze_route(const GCellGrid& grid, const std::vector<Point>& sources,
+                      Point target, const std::function<double(EdgeId)>& edge_cost);
+
+/// Compresses a cell walk into a waypoint polyline (collinear runs merged).
+/// The result is a valid PatternPath geometry (possibly non-monotone).
+PatternPath compress_cells(const std::vector<Point>& cells);
+
+}  // namespace dgr::routers

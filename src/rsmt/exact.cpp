@@ -1,0 +1,69 @@
+#include "rsmt/exact.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <stdexcept>
+
+namespace dgr::rsmt {
+namespace {
+
+// Enumerates subsets of `candidates` of size <= max_extra, calling visit()
+// with each subset (including the empty one).
+void for_each_subset(const std::vector<Point>& candidates, std::size_t max_extra,
+                     std::vector<Point>& chosen, std::size_t start,
+                     const std::function<void(const std::vector<Point>&)>& visit) {
+  visit(chosen);
+  if (chosen.size() == max_extra) return;
+  for (std::size_t i = start; i < candidates.size(); ++i) {
+    chosen.push_back(candidates[i]);
+    for_each_subset(candidates, max_extra, chosen, i + 1, visit);
+    chosen.pop_back();
+  }
+}
+
+}  // namespace
+
+SteinerTree exact_rsmt(const std::vector<Point>& pins) {
+  if (pins.empty() || pins.size() > kExactRsmtMaxPins) {
+    throw std::invalid_argument("exact_rsmt: unsupported pin count");
+  }
+  if (pins.size() <= 2) return manhattan_mst(pins);
+
+  const auto hanan = geom::HananGrid::from_points(pins);
+  std::vector<Point> candidates;
+  candidates.reserve(hanan.size());
+  for (std::size_t i = 0; i < hanan.size(); ++i) {
+    const Point p = hanan.point(i);
+    if (std::find(pins.begin(), pins.end(), p) == pins.end()) candidates.push_back(p);
+  }
+
+  SteinerTree best = manhattan_mst(pins);
+  std::int64_t best_len = best.length();
+
+  std::vector<Point> chosen;
+  for_each_subset(candidates, pins.size() - 2, chosen, 0,
+                  [&](const std::vector<Point>& steiners) {
+                    if (steiners.empty()) return;  // MST over pins already evaluated
+                    std::vector<Point> all = pins;
+                    all.insert(all.end(), steiners.begin(), steiners.end());
+                    SteinerTree t = manhattan_mst(all);
+                    t.pin_count = pins.size();
+                    const std::int64_t len = t.length();
+                    if (len < best_len) {
+                      best_len = len;
+                      best = std::move(t);
+                    }
+                  });
+
+  best.pin_count = pins.size();
+  best.simplify();
+  assert(best.is_spanning_tree());
+  return best;
+}
+
+std::int64_t exact_rsmt_length(const std::vector<Point>& pins) {
+  return exact_rsmt(pins).length();
+}
+
+}  // namespace dgr::rsmt

@@ -1,0 +1,27 @@
+#pragma once
+// Exact RSMT for small pin counts via Hanan-grid enumeration.
+//
+// Hanan's theorem: some rectilinear Steiner minimum tree uses only Steiner
+// points from the Hanan grid (intersections of pin x/y coordinates), and an
+// RSMT over n pins needs at most n-2 Steiner points. For a fixed candidate
+// set S, MST(pins ∪ S) under Manhattan distance equals the best Steiner tree
+// restricted to those points, so enumerating all S ⊆ Hanan with |S| ≤ n-2
+// and taking the minimum MST is exact. Feasible for n ≤ 5 (≤ C(25,3) MSTs).
+
+#include <vector>
+
+#include "rsmt/steiner_tree.hpp"
+
+namespace dgr::rsmt {
+
+/// Maximum pin count `exact_rsmt` accepts.
+inline constexpr std::size_t kExactRsmtMaxPins = 5;
+
+/// Computes an exact rectilinear Steiner minimum tree. Requires
+/// 1 <= pins.size() <= kExactRsmtMaxPins; pins must be distinct.
+SteinerTree exact_rsmt(const std::vector<Point>& pins);
+
+/// Exact RSMT *length* by the same enumeration (test oracle).
+std::int64_t exact_rsmt_length(const std::vector<Point>& pins);
+
+}  // namespace dgr::rsmt

@@ -1,0 +1,106 @@
+#include "rsmt/salt.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace dgr::rsmt {
+
+SteinerTree salt_tree(const std::vector<Point>& pins, const SaltOptions& opts) {
+  if (opts.epsilon <= 0.0) throw std::invalid_argument("salt_tree: epsilon must be > 0");
+  if (opts.source >= pins.size() && !pins.empty()) {
+    throw std::invalid_argument("salt_tree: source index out of range");
+  }
+
+  SteinerTree tree = manhattan_mst(pins);
+  if (pins.size() <= 2) return tree;
+  const std::size_t n = pins.size();
+  const auto src = static_cast<int>(opts.source);
+
+  // Adjacency of the MST.
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& [a, b] : tree.edges) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+
+  // Iterative DFS from the source, carrying the accumulated tree path
+  // length. Shortcut nodes whose accumulated length breaks the bound;
+  // their subtree then continues from the improved distance (KRY).
+  std::vector<std::pair<int, int>> new_edges;  // (parent-or-source, node)
+  std::vector<bool> visited(n, false);
+  struct Frame {
+    int node;
+    int parent;
+    std::int64_t dist;  ///< tree path length source -> node
+  };
+  std::vector<Frame> stack{{src, -1, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (visited[static_cast<std::size_t>(f.node)]) continue;
+    visited[static_cast<std::size_t>(f.node)] = true;
+
+    std::int64_t dist = f.dist;
+    if (f.parent >= 0) {
+      const std::int64_t direct =
+          geom::manhattan(pins[static_cast<std::size_t>(f.node)],
+                          pins[static_cast<std::size_t>(src)]);
+      if (static_cast<double>(dist) > (1.0 + opts.epsilon) * static_cast<double>(direct)) {
+        // Replace the parent edge by a direct shortcut from the source.
+        new_edges.emplace_back(src, f.node);
+        dist = direct;
+      } else {
+        new_edges.emplace_back(f.parent, f.node);
+      }
+    }
+    for (const int next : adj[static_cast<std::size_t>(f.node)]) {
+      if (!visited[static_cast<std::size_t>(next)]) {
+        stack.push_back({next, f.node,
+                         dist + geom::manhattan(pins[static_cast<std::size_t>(f.node)],
+                                                pins[static_cast<std::size_t>(next)])});
+      }
+    }
+  }
+
+  tree.edges = std::move(new_edges);
+  assert(tree.is_spanning_tree());
+  return tree;
+}
+
+double radius_stretch(const SteinerTree& tree, std::size_t source) {
+  const std::size_t n = tree.nodes.size();
+  if (n <= 1) return 1.0;
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& [a, b] : tree.edges) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+  std::vector<std::int64_t> dist(n, -1);
+  std::vector<int> order{static_cast<int>(source)};
+  dist[source] = 0;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const int u = order[head];
+    for (const int v : adj[static_cast<std::size_t>(u)]) {
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] +
+            geom::manhattan(tree.nodes[static_cast<std::size_t>(u)],
+                            tree.nodes[static_cast<std::size_t>(v)]);
+        order.push_back(v);
+      }
+    }
+  }
+  double worst = 1.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v == source || dist[v] < 0) continue;
+    const std::int64_t direct = geom::manhattan(tree.nodes[v], tree.nodes[source]);
+    if (direct > 0) {
+      worst = std::max(worst, static_cast<double>(dist[v]) / static_cast<double>(direct));
+    }
+  }
+  return worst;
+}
+
+}  // namespace dgr::rsmt

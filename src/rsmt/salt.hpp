@@ -1,0 +1,36 @@
+#pragma once
+// SALT-lite: shallow-light spanning trees (Chen & Young, "SALT: provably
+// good routing topology by a novel Steiner shallow-light tree algorithm").
+//
+// The paper lists SALT as a drop-in source of additional routing-tree
+// candidates for the DAG forest (Section 4.2). This is the classic
+// Khuller–Raghavachari–Young trade-off the full SALT builds on: start from
+// the Manhattan MST (light), DFS from the source pin, and whenever a node's
+// tree path length exceeds (1 + epsilon) x its Manhattan distance from the
+// source, replace its parent edge with a direct shortcut from the source
+// (shallow). The result is a spanning tree with
+//
+//     pathlen(source, v)  <=  (1 + epsilon) * manhattan(source, v)   for all v
+//     length(tree)        <=  (1 + 2/epsilon) * length(MST)
+//
+// Small epsilon => star-like (timing-friendly), large epsilon => MST-like
+// (wirelength-friendly).
+
+#include "rsmt/steiner_tree.hpp"
+
+namespace dgr::rsmt {
+
+struct SaltOptions {
+  double epsilon = 1.0;    ///< shallowness slack; must be > 0
+  std::size_t source = 0;  ///< index of the driver pin in `pins`
+};
+
+/// Builds a shallow-light spanning tree over the pins (no Steiner points —
+/// pattern routing embeds the edges later, like every other candidate).
+SteinerTree salt_tree(const std::vector<Point>& pins, const SaltOptions& opts = {});
+
+/// Maximum over nodes of pathlen(source, v) / manhattan(source, v) in the
+/// tree (1.0 is a perfect star; test oracle for the shallowness bound).
+double radius_stretch(const SteinerTree& tree, std::size_t source);
+
+}  // namespace dgr::rsmt

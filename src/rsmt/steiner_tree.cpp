@@ -1,0 +1,215 @@
+#include "rsmt/steiner_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace dgr::rsmt {
+
+std::int64_t SteinerTree::length() const {
+  std::int64_t total = 0;
+  for (const auto& [a, b] : edges) {
+    total += geom::manhattan(nodes[static_cast<std::size_t>(a)],
+                             nodes[static_cast<std::size_t>(b)]);
+  }
+  return total;
+}
+
+bool SteinerTree::is_spanning_tree() const {
+  const std::size_t n = nodes.size();
+  if (n == 0) return false;
+  if (edges.size() != n - 1) return false;
+  // Union-find connectivity.
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  std::size_t merges = 0;
+  for (const auto& [a, b] : edges) {
+    if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= n || static_cast<std::size_t>(b) >= n)
+      return false;
+    const int ra = find(a), rb = find(b);
+    if (ra == rb) return false;  // cycle
+    parent[static_cast<std::size_t>(ra)] = rb;
+    ++merges;
+  }
+  return merges == n - 1;
+}
+
+std::vector<int> SteinerTree::degrees() const {
+  std::vector<int> deg(nodes.size(), 0);
+  for (const auto& [a, b] : edges) {
+    ++deg[static_cast<std::size_t>(a)];
+    ++deg[static_cast<std::size_t>(b)];
+  }
+  return deg;
+}
+
+std::vector<std::pair<Point, Point>> SteinerTree::canonical_edges() const {
+  std::vector<std::pair<Point, Point>> out;
+  out.reserve(edges.size());
+  for (const auto& [a, b] : edges) {
+    Point pa = nodes[static_cast<std::size_t>(a)];
+    Point pb = nodes[static_cast<std::size_t>(b)];
+    if (pb < pa) std::swap(pa, pb);
+    out.emplace_back(pa, pb);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SteinerTree::simplify() {
+  // Compacts the node array: keeps pins and Steiner nodes still referenced
+  // by an edge, remapping edge endpoints.
+  auto compact = [this] {
+    std::vector<int> remap(nodes.size(), -1);
+    std::vector<Point> new_nodes;
+    for (std::size_t v = 0; v < pin_count; ++v) {
+      remap[v] = static_cast<int>(new_nodes.size());
+      new_nodes.push_back(nodes[v]);
+    }
+    for (const auto& [a, b] : edges) {
+      for (int x : {a, b}) {
+        if (remap[static_cast<std::size_t>(x)] == -1) {
+          remap[static_cast<std::size_t>(x)] = static_cast<int>(new_nodes.size());
+          new_nodes.push_back(nodes[static_cast<std::size_t>(x)]);
+        }
+      }
+    }
+    for (auto& [a, b] : edges) {
+      a = remap[static_cast<std::size_t>(a)];
+      b = remap[static_cast<std::size_t>(b)];
+    }
+    nodes = std::move(new_nodes);
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Merge zero-length edges (coincident endpoints) by aliasing nodes.
+    std::vector<int> alias(nodes.size());
+    std::iota(alias.begin(), alias.end(), 0);
+    auto root = [&](int x) {
+      while (alias[static_cast<std::size_t>(x)] != x) x = alias[static_cast<std::size_t>(x)];
+      return x;
+    };
+    bool merged = false;
+    for (const auto& [a, b] : edges) {
+      const int ra = root(a), rb = root(b);
+      if (ra != rb && nodes[static_cast<std::size_t>(ra)] == nodes[static_cast<std::size_t>(rb)]) {
+        // Keep the pin (lower index) as the representative.
+        alias[static_cast<std::size_t>(std::max(ra, rb))] = std::min(ra, rb);
+        merged = true;
+      }
+    }
+    if (merged) {
+      std::vector<std::pair<int, int>> kept;
+      for (auto [a, b] : edges) {
+        a = root(a);
+        b = root(b);
+        if (a != b) kept.emplace_back(a, b);
+      }
+      edges = std::move(kept);
+      changed = true;
+    }
+
+    auto deg = degrees();
+
+    // Drop Steiner leaves.
+    for (std::size_t v = pin_count; v < nodes.size(); ++v) {
+      if (deg[v] == 1) {
+        auto it = std::find_if(edges.begin(), edges.end(), [&](const auto& e) {
+          return e.first == static_cast<int>(v) || e.second == static_cast<int>(v);
+        });
+        if (it != edges.end()) {
+          edges.erase(it);
+          changed = true;
+        }
+      } else if (deg[v] == 0 && nodes.size() > pin_count) {
+        changed = true;  // isolated Steiner node, removed by compaction
+      }
+    }
+    if (changed) {
+      compact();
+      continue;
+    }
+
+    // Splice collinear degree-2 Steiner nodes.
+    for (std::size_t v = pin_count; v < nodes.size() && !changed; ++v) {
+      if (deg[v] != 2) continue;
+      int e1 = -1, e2 = -1;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (edges[i].first == static_cast<int>(v) || edges[i].second == static_cast<int>(v)) {
+          (e1 == -1 ? e1 : e2) = static_cast<int>(i);
+        }
+      }
+      const int n1 = edges[static_cast<std::size_t>(e1)].first == static_cast<int>(v)
+                         ? edges[static_cast<std::size_t>(e1)].second
+                         : edges[static_cast<std::size_t>(e1)].first;
+      const int n2 = edges[static_cast<std::size_t>(e2)].first == static_cast<int>(v)
+                         ? edges[static_cast<std::size_t>(e2)].second
+                         : edges[static_cast<std::size_t>(e2)].first;
+      const Point pv = nodes[v];
+      const Point p1 = nodes[static_cast<std::size_t>(n1)];
+      const Point p2 = nodes[static_cast<std::size_t>(n2)];
+      // Splice only when v lies on a shortest rectilinear path between its
+      // neighbours, so total length is unchanged.
+      if (geom::manhattan(p1, pv) + geom::manhattan(pv, p2) == geom::manhattan(p1, p2)) {
+        edges[static_cast<std::size_t>(e1)] = {n1, n2};
+        edges.erase(edges.begin() + e2);
+        compact();
+        changed = true;
+      }
+    }
+  }
+}
+
+SteinerTree manhattan_mst(const std::vector<Point>& pins) {
+  SteinerTree tree;
+  tree.nodes = pins;
+  tree.pin_count = pins.size();
+  const std::size_t n = pins.size();
+  if (n <= 1) return tree;
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> best(n, kInf);
+  std::vector<int> from(n, -1);
+  std::vector<bool> used(n, false);
+  best[0] = 0;
+  for (std::size_t it = 0; it < n; ++it) {
+    std::size_t u = n;
+    std::int64_t bu = kInf;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!used[v] && best[v] < bu) {
+        bu = best[v];
+        u = v;
+      }
+    }
+    assert(u < n);
+    used[u] = true;
+    if (from[u] >= 0) tree.edges.emplace_back(from[u], static_cast<int>(u));
+    for (std::size_t v = 0; v < n; ++v) {
+      if (used[v]) continue;
+      const std::int64_t d = geom::manhattan(pins[u], pins[v]);
+      if (d < best[v]) {
+        best[v] = d;
+        from[v] = static_cast<int>(u);
+      }
+    }
+  }
+  return tree;
+}
+
+std::int64_t manhattan_mst_length(const std::vector<Point>& pts) {
+  return manhattan_mst(pts).length();
+}
+
+}  // namespace dgr::rsmt

@@ -1,0 +1,59 @@
+#pragma once
+// Rectilinear Steiner tree representation and basic constructions.
+//
+// A SteinerTree spans a net's pins with optional Steiner nodes. Tree edges
+// connect node indices; an edge's length is the Manhattan distance between
+// its endpoints (the concrete L/Z embedding of each edge is chosen later by
+// pattern routing, Section 4.2 of the paper). Tree edges are exactly the
+// 2-pin sub-nets the DAG forest enumerates path candidates for.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace dgr::rsmt {
+
+using geom::Point;
+
+struct SteinerTree {
+  std::vector<Point> nodes;                   ///< pins first, then Steiner nodes
+  std::size_t pin_count = 0;                  ///< nodes[0..pin_count) are pins
+  std::vector<std::pair<int, int>> edges;     ///< node-index pairs
+
+  std::size_t node_count() const { return nodes.size(); }
+  bool is_pin(int node) const { return static_cast<std::size_t>(node) < pin_count; }
+
+  /// Total rectilinear length (sum of Manhattan edge lengths).
+  std::int64_t length() const;
+
+  /// True iff the edge set forms a single tree spanning every node
+  /// (|E| = |V|-1 and connected).
+  bool is_spanning_tree() const;
+
+  /// Node degrees (size node_count()).
+  std::vector<int> degrees() const;
+
+  /// Canonicalisation used for candidate dedup: sorted (min,max) point-pair
+  /// edge list. Two trees with equal keys route identically.
+  std::vector<std::pair<Point, Point>> canonical_edges() const;
+
+  /// Removes structural noise without changing geometry:
+  ///  - Steiner leaves (useless dangling nodes),
+  ///  - degree-2 Steiner nodes that are *collinear* with both neighbours
+  ///    (splicing them changes neither length nor the routable shapes),
+  ///  - zero-length edges (duplicate points merged).
+  /// Non-collinear degree-2 Steiner nodes are kept: they pin a bend.
+  void simplify();
+};
+
+/// Prim's minimum spanning tree over the complete Manhattan-distance graph.
+/// O(n^2); exact MST, used both as an RSMT fallback and as the upper bound
+/// in property tests (RSMT length <= MST length).
+SteinerTree manhattan_mst(const std::vector<Point>& pins);
+
+/// Length of the Manhattan MST without materialising the tree.
+std::int64_t manhattan_mst_length(const std::vector<Point>& pts);
+
+}  // namespace dgr::rsmt

@@ -1,0 +1,49 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace dgr::util {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_message(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  char body[2048];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[dgr %s %s:%d] %s\n", level_tag(level), basename_of(file), line, body);
+}
+
+LogSilencer::LogSilencer() : saved_(log_level()) { set_log_level(LogLevel::kOff); }
+LogSilencer::~LogSilencer() { set_log_level(saved_); }
+
+}  // namespace dgr::util

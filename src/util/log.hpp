@@ -1,0 +1,48 @@
+#pragma once
+// Lightweight leveled logging for the DGR library.
+//
+// Usage:
+//   DGR_LOG_INFO("routed %zu nets, overflow=%lld", n, ovf);
+// The active level is a process-global; benches lower it to keep table
+// output clean, tests raise it when debugging.
+
+#include <cstdarg>
+#include <string>
+
+namespace dgr::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style log entry point; prefer the DGR_LOG_* macros.
+void log_message(LogLevel level, const char* file, int line, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+
+/// RAII guard that silences logging within a scope (used by benches).
+class LogSilencer {
+ public:
+  LogSilencer();
+  ~LogSilencer();
+  LogSilencer(const LogSilencer&) = delete;
+  LogSilencer& operator=(const LogSilencer&) = delete;
+
+ private:
+  LogLevel saved_;
+};
+
+}  // namespace dgr::util
+
+#define DGR_LOG_DEBUG(...) \
+  ::dgr::util::log_message(::dgr::util::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define DGR_LOG_INFO(...) \
+  ::dgr::util::log_message(::dgr::util::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define DGR_LOG_WARN(...) \
+  ::dgr::util::log_message(::dgr::util::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define DGR_LOG_ERROR(...) \
+  ::dgr::util::log_message(::dgr::util::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)

@@ -1,0 +1,31 @@
+#include "util/memprobe.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace dgr::util {
+namespace {
+
+std::size_t read_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + key_len, ": %llu kB", &v) == 1) kb = static_cast<std::size_t>(v);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() { return read_status_kb("VmHWM") * 1024; }
+std::size_t current_rss_bytes() { return read_status_kb("VmRSS") * 1024; }
+
+}  // namespace dgr::util

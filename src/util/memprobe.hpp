@@ -1,0 +1,17 @@
+#pragma once
+// Process memory probes for the Figure 5b "peak memory vs #nets" experiment.
+// The paper reports peak CPU and GPU memory; our CPU-only substrate reports
+// peak RSS (from /proc) plus the solver's own accounted allocation size,
+// which stands in for the "GPU memory" series (tensor storage only).
+
+#include <cstddef>
+
+namespace dgr::util {
+
+/// Peak resident set size of this process, in bytes (VmHWM). 0 if unknown.
+std::size_t peak_rss_bytes();
+
+/// Current resident set size, in bytes (VmRSS). 0 if unknown.
+std::size_t current_rss_bytes();
+
+}  // namespace dgr::util

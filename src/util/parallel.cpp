@@ -1,0 +1,136 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dgr::util {
+namespace {
+
+std::atomic<std::size_t> g_override{0};
+
+std::size_t default_workers() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 4 : hc;
+}
+
+// A tiny persistent pool: jobs are (chunk range -> callback) pulled from a
+// shared atomic cursor. Creating threads per call would dominate the cost of
+// the small kernels DGR runs thousands of times.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(std::size_t begin, std::size_t end,
+           const std::function<void(std::size_t, std::size_t)>& fn, std::size_t grain) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t workers = worker_count();
+    if (workers <= 1 || n <= grain) {
+      fn(begin, end);
+      return;
+    }
+    ensure_threads(workers - 1);
+    std::unique_lock<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_begin_ = begin;
+    job_end_ = end;
+    job_grain_ = grain;
+    cursor_.store(begin, std::memory_order_relaxed);
+    pending_ = static_cast<int>(threads_.size());
+    ++epoch_;
+    cv_start_.notify_all();
+    lock.unlock();
+
+    work();  // caller participates
+
+    lock.lock();
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    job_fn_ = nullptr;
+  }
+
+ private:
+  Pool() = default;
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+      ++epoch_;
+      cv_start_.notify_all();
+    }
+    for (auto& t : threads_) t.join();
+  }
+
+  void ensure_threads(std::size_t n) {
+    while (threads_.size() < n) {
+      threads_.emplace_back([this, my_epoch = epoch_]() mutable {
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+          cv_start_.wait(lock, [&] { return epoch_ != my_epoch || stopping_; });
+          if (stopping_) return;
+          my_epoch = epoch_;
+          if (job_fn_ == nullptr) continue;  // thread created mid-job epoch bump
+          lock.unlock();
+          work();
+          lock.lock();
+          if (--pending_ == 0) cv_done_.notify_one();
+        }
+      });
+    }
+  }
+
+  void work() {
+    const auto* fn = job_fn_;
+    const std::size_t end = job_end_;
+    const std::size_t grain = job_grain_;
+    for (;;) {
+      const std::size_t lo = cursor_.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = lo + grain < end ? lo + grain : end;
+      (*fn)(lo, hi);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> threads_;
+  const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_begin_ = 0, job_end_ = 0, job_grain_ = 1;
+  std::atomic<std::size_t> cursor_{0};
+  int pending_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace
+
+std::size_t worker_count() {
+  const std::size_t o = g_override.load(std::memory_order_relaxed);
+  return o != 0 ? o : default_workers();
+}
+
+void set_worker_count(std::size_t n) { g_override.store(n, std::memory_order_relaxed); }
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn, std::size_t grain) {
+  parallel_for_blocked(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+void parallel_for_blocked(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t, std::size_t)>& fn,
+                          std::size_t grain) {
+  Pool::instance().run(begin, end, fn, grain == 0 ? 1 : grain);
+}
+
+}  // namespace dgr::util

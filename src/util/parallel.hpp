@@ -1,0 +1,34 @@
+#pragma once
+// Deterministic data-parallel helpers.
+//
+// The paper runs DGR's tensor kernels on a GPU via PyTorch; this CPU
+// substrate parallelises the same kernels across a persistent thread pool.
+// All reductions are structured so results are bitwise independent of the
+// thread count (each output element is owned by exactly one task).
+
+#include <cstddef>
+#include <functional>
+
+namespace dgr::util {
+
+/// Number of worker threads the pool uses (hardware concurrency by default).
+std::size_t worker_count();
+
+/// Overrides the worker count (0 restores the default). Mainly for tests
+/// that check determinism across thread counts.
+void set_worker_count(std::size_t n);
+
+/// Runs fn(i) for i in [begin, end) across the pool. Blocks until done.
+/// fn must not throw. Each index is executed exactly once; distinct indices
+/// may run concurrently, so fn may only write to state owned by index i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1024);
+
+/// Block variant: fn(lo, hi) is invoked on contiguous chunks covering
+/// [begin, end). Lower call overhead for tight numeric loops.
+void parallel_for_blocked(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t, std::size_t)>& fn,
+                          std::size_t grain = 4096);
+
+}  // namespace dgr::util

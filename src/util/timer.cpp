@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Header-only in practice; this TU pins the library's vtable-free symbols so
+// every module that links dgr_util gets identical inlined definitions.

@@ -1,0 +1,44 @@
+#pragma once
+// Wall-clock timing used by the benchmark harnesses (Table 1 runtime column,
+// Figure 5a runtime curves).
+
+#include <chrono>
+
+namespace dgr::util {
+
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows (used to separate
+/// DAG-forest construction time from solver time as in Fig. 5 footnote 3).
+class StopWatch {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += timer_.seconds();
+    running_ = false;
+  }
+  double total_seconds() const { return running_ ? total_ + timer_.seconds() : total_; }
+
+ private:
+  Timer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace dgr::util

@@ -1,0 +1,480 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "ad/adam.hpp"
+#include "ad/gradcheck.hpp"
+#include "ad/ops.hpp"
+#include "ad/tape.hpp"
+#include "util/rng.hpp"
+
+namespace dgr::ad {
+namespace {
+
+std::vector<float> random_vec(util::Rng& rng, std::size_t n, float scale = 1.0f) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal()) * scale;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Tape basics
+// ---------------------------------------------------------------------------
+
+TEST(Tape, InputHoldsValues) {
+  Tape tape;
+  const NodeId x = tape.input({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(tape.size(x), 3u);
+  EXPECT_FLOAT_EQ(tape.value(x)[1], 2.0f);
+}
+
+TEST(Tape, BackwardRequiresScalarRoot) {
+  Tape tape;
+  const NodeId x = tape.input({1.0f, 2.0f});
+  EXPECT_THROW(tape.backward(x), std::invalid_argument);
+}
+
+TEST(Tape, InvalidNodeIdThrows) {
+  Tape tape;
+  EXPECT_THROW(tape.value(NodeId{}), std::out_of_range);
+  EXPECT_THROW(tape.value(NodeId{5}), std::out_of_range);
+}
+
+TEST(Tape, MemoryBytesGrowsWithNodes) {
+  Tape tape;
+  const std::size_t before = tape.memory_bytes();
+  tape.input(std::vector<float>(1000, 1.0f));
+  EXPECT_GT(tape.memory_bytes(), before);
+}
+
+// ---------------------------------------------------------------------------
+// segment_softmax
+// ---------------------------------------------------------------------------
+
+TEST(SegmentSoftmax, GroupsSumToOne) {
+  Tape tape;
+  const NodeId x = tape.input({1.0f, 2.0f, 3.0f, -1.0f, 0.5f});
+  const std::vector<std::int32_t> offsets{0, 3, 5};
+  const NodeId y = segment_softmax(tape, x, offsets, 1.0f);
+  const auto& v = tape.value(y);
+  EXPECT_NEAR(v[0] + v[1] + v[2], 1.0, 1e-6);
+  EXPECT_NEAR(v[3] + v[4], 1.0, 1e-6);
+  for (const float p : v) {
+    EXPECT_GT(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+  }
+}
+
+TEST(SegmentSoftmax, MatchesClosedForm) {
+  Tape tape;
+  const NodeId x = tape.input({0.0f, std::log(3.0f)});
+  const std::vector<std::int32_t> offsets{0, 2};
+  const NodeId y = segment_softmax(tape, x, offsets, 1.0f);
+  EXPECT_NEAR(tape.value(y)[0], 0.25, 1e-6);
+  EXPECT_NEAR(tape.value(y)[1], 0.75, 1e-6);
+}
+
+TEST(SegmentSoftmax, LowTemperatureSharpens) {
+  const std::vector<float> logits{1.0f, 1.5f, 0.2f};
+  const std::vector<std::int32_t> offsets{0, 3};
+  Tape t1, t2;
+  const auto y1 = segment_softmax(t1, t1.input(logits), offsets, 1.0f);
+  const auto y2 = segment_softmax(t2, t2.input(logits), offsets, 0.1f);
+  EXPECT_GT(t2.value(y2)[1], t1.value(y1)[1]);
+  EXPECT_GT(t2.value(y2)[1], 0.98f);
+}
+
+TEST(SegmentSoftmax, NoiseShiftsDistribution) {
+  const std::vector<float> logits{0.0f, 0.0f};
+  const std::vector<std::int32_t> offsets{0, 2};
+  const std::vector<float> noise{5.0f, 0.0f};
+  Tape tape;
+  const auto y = segment_softmax(tape, tape.input(logits), offsets, 1.0f, &noise);
+  EXPECT_GT(tape.value(y)[0], 0.9f);
+}
+
+TEST(SegmentSoftmax, StableUnderLargeLogits) {
+  Tape tape;
+  const NodeId x = tape.input({1000.0f, 1001.0f});
+  const std::vector<std::int32_t> offsets{0, 2};
+  const NodeId y = segment_softmax(tape, x, offsets, 1.0f);
+  EXPECT_NEAR(tape.value(y)[0] + tape.value(y)[1], 1.0, 1e-6);
+  EXPECT_FALSE(std::isnan(tape.value(y)[0]));
+}
+
+TEST(SegmentSoftmax, SingletonGroupIsOne) {
+  Tape tape;
+  const NodeId x = tape.input({-7.3f});
+  const std::vector<std::int32_t> offsets{0, 1};
+  const NodeId y = segment_softmax(tape, x, offsets, 0.5f);
+  EXPECT_FLOAT_EQ(tape.value(y)[0], 1.0f);
+}
+
+TEST(SegmentSoftmax, RejectsBadArguments) {
+  Tape tape;
+  const NodeId x = tape.input({1.0f, 2.0f});
+  const std::vector<std::int32_t> wrong{0, 3};
+  EXPECT_THROW(segment_softmax(tape, x, wrong, 1.0f), std::invalid_argument);
+  const std::vector<std::int32_t> ok{0, 2};
+  EXPECT_THROW(segment_softmax(tape, x, ok, 0.0f), std::invalid_argument);
+}
+
+TEST(SegmentSoftmax, GradCheck) {
+  util::Rng rng(3);
+  const std::vector<float> x0 = random_vec(rng, 7);
+  const std::vector<std::int32_t> offsets{0, 3, 4, 7};
+  const std::vector<float> weights{0.3f, -1.0f, 2.0f, 0.7f, 1.1f, -0.2f, 0.5f};
+  auto f = [&](const std::vector<float>& x) {
+    Tape tape;
+    const NodeId y = segment_softmax(tape, tape.input(x), offsets, 0.7f);
+    return static_cast<double>(tape.value(weighted_sum(tape, y, weights))[0]);
+  };
+  Tape tape;
+  const NodeId x = tape.input(x0);
+  const NodeId y = segment_softmax(tape, x, offsets, 0.7f);
+  tape.backward(weighted_sum(tape, y, weights));
+  const auto r = grad_check(f, x0, tape.grad(x));
+  EXPECT_TRUE(r.ok) << "max_abs_err=" << r.max_abs_err << " at " << r.worst_index;
+}
+
+// ---------------------------------------------------------------------------
+// gather_mul
+// ---------------------------------------------------------------------------
+
+TEST(GatherMul, ForwardMatchesDefinition) {
+  Tape tape;
+  const NodeId q = tape.input({2.0f, 3.0f});
+  const NodeId p = tape.input({1.0f, 0.5f, 4.0f});
+  const std::vector<std::int32_t> index{0, 1, 1};
+  const NodeId y = gather_mul(tape, q, index, p);
+  EXPECT_FLOAT_EQ(tape.value(y)[0], 2.0f);
+  EXPECT_FLOAT_EQ(tape.value(y)[1], 1.5f);
+  EXPECT_FLOAT_EQ(tape.value(y)[2], 12.0f);
+}
+
+TEST(GatherMul, GradCheckBothInputs) {
+  util::Rng rng(5);
+  const std::vector<float> q0 = random_vec(rng, 3);
+  const std::vector<float> p0 = random_vec(rng, 6);
+  const std::vector<std::int32_t> index{0, 0, 1, 2, 2, 1};
+  const std::vector<float> w{1.0f, -2.0f, 0.5f, 3.0f, 1.5f, -1.0f};
+
+  auto run = [&](const std::vector<float>& q, const std::vector<float>& p, Tape& tape,
+                 NodeId* qn, NodeId* pn) {
+    *qn = tape.input(q);
+    *pn = tape.input(p);
+    return weighted_sum(tape, gather_mul(tape, *qn, index, *pn), w);
+  };
+  Tape tape;
+  NodeId qn, pn;
+  tape.backward(run(q0, p0, tape, &qn, &pn));
+
+  auto fq = [&](const std::vector<float>& q) {
+    Tape t;
+    NodeId a, b;
+    return static_cast<double>(t.value(run(q, p0, t, &a, &b))[0]);
+  };
+  auto fp = [&](const std::vector<float>& p) {
+    Tape t;
+    NodeId a, b;
+    return static_cast<double>(t.value(run(q0, p, t, &a, &b))[0]);
+  };
+  EXPECT_TRUE(grad_check(fq, q0, tape.grad(qn)).ok);
+  EXPECT_TRUE(grad_check(fp, p0, tape.grad(pn)).ok);
+}
+
+// ---------------------------------------------------------------------------
+// spmv
+// ---------------------------------------------------------------------------
+
+struct TinyCsr {
+  std::vector<std::uint32_t> fwd_off{0, 2, 3, 5};
+  std::vector<std::int32_t> fwd_cols{0, 1, 1, 0, 2};
+  std::vector<float> fwd_w{1.0f, 2.0f, 0.5f, 1.5f, 1.0f};
+  // transpose: x0 -> rows {0 (w1), 2 (w1.5)}, x1 -> {0 (w2), 1 (w0.5)},
+  //            x2 -> {2 (w1)}
+  std::vector<std::uint32_t> bwd_off{0, 2, 4, 5};
+  std::vector<std::int32_t> bwd_cols{0, 2, 0, 1, 2};
+  std::vector<float> bwd_w{1.0f, 1.5f, 2.0f, 0.5f, 1.0f};
+
+  SparseIncidence inc() const {
+    return SparseIncidence{&fwd_off, &fwd_cols, &fwd_w, &bwd_off, &bwd_cols, &bwd_w};
+  }
+};
+
+TEST(Spmv, ForwardMatchesDenseProduct) {
+  TinyCsr csr;
+  Tape tape;
+  const NodeId x = tape.input({1.0f, 2.0f, 3.0f});
+  const NodeId y = spmv(tape, x, csr.inc());
+  ASSERT_EQ(tape.size(y), 3u);
+  EXPECT_FLOAT_EQ(tape.value(y)[0], 1.0f * 1 + 2.0f * 2);
+  EXPECT_FLOAT_EQ(tape.value(y)[1], 0.5f * 2);
+  EXPECT_FLOAT_EQ(tape.value(y)[2], 1.5f * 1 + 1.0f * 3);
+}
+
+TEST(Spmv, GradCheck) {
+  TinyCsr csr;
+  const std::vector<float> x0{0.3f, -1.2f, 2.2f};
+  const std::vector<float> w{1.0f, -0.5f, 2.0f};
+  auto f = [&](const std::vector<float>& x) {
+    Tape t;
+    return static_cast<double>(t.value(weighted_sum(t, spmv(t, t.input(x), csr.inc()), w))[0]);
+  };
+  Tape tape;
+  const NodeId x = tape.input(x0);
+  tape.backward(weighted_sum(tape, spmv(tape, x, csr.inc()), w));
+  EXPECT_TRUE(grad_check(f, x0, tape.grad(x)).ok);
+}
+
+TEST(Spmv, RejectsInconsistentCsr) {
+  TinyCsr csr;
+  csr.bwd_off = {0, 1};  // claims x has size 1
+  Tape tape;
+  const NodeId x = tape.input({1.0f, 2.0f, 3.0f});
+  EXPECT_THROW(spmv(tape, x, csr.inc()), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// sub_const + activations
+// ---------------------------------------------------------------------------
+
+TEST(SubConst, Forward) {
+  Tape tape;
+  const NodeId x = tape.input({3.0f, 1.0f});
+  const NodeId y = sub_const(tape, x, {1.0f, 5.0f});
+  EXPECT_FLOAT_EQ(tape.value(y)[0], 2.0f);
+  EXPECT_FLOAT_EQ(tape.value(y)[1], -4.0f);
+}
+
+TEST(Activations, ForwardValues) {
+  Tape tape;
+  const NodeId x = tape.input({-2.0f, 0.0f, 3.0f});
+  const auto relu = apply_activation(tape, x, Activation::kReLU);
+  EXPECT_FLOAT_EQ(tape.value(relu)[0], 0.0f);
+  EXPECT_FLOAT_EQ(tape.value(relu)[2], 3.0f);
+  const auto sig = apply_activation(tape, x, Activation::kSigmoid);
+  EXPECT_NEAR(tape.value(sig)[1], 0.5, 1e-6);
+  EXPECT_NEAR(tape.value(sig)[0], 1.0 / (1.0 + std::exp(2.0)), 1e-6);
+  const auto leaky = apply_activation(tape, x, Activation::kLeakyReLU, 1.0f);
+  EXPECT_NEAR(tape.value(leaky)[0], -0.02, 1e-6);
+  const auto ex = apply_activation(tape, x, Activation::kExp);
+  EXPECT_NEAR(tape.value(ex)[2], std::exp(3.0), 1e-3);
+  const auto celu = apply_activation(tape, x, Activation::kCELU, 1.0f);
+  EXPECT_NEAR(tape.value(celu)[0], std::exp(-2.0) - 1.0, 1e-6);
+  EXPECT_FLOAT_EQ(tape.value(celu)[2], 3.0f);
+}
+
+TEST(Activations, ExpClampPreventsOverflow) {
+  Tape tape;
+  const NodeId x = tape.input({100.0f});
+  const auto y = apply_activation(tape, x, Activation::kExp);
+  EXPECT_TRUE(std::isfinite(tape.value(y)[0]));
+}
+
+class ActivationGradCheck : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationGradCheck, MatchesFiniteDifferences) {
+  // Avoid the ReLU/LeakyReLU kink at 0 by sampling away from it; keep
+  // magnitudes modest so float32 forward noise stays below the FD step.
+  const std::vector<float> x0{-2.3f, -0.7f, 0.9f, 1.6f, 2.2f};
+  const std::vector<float> w{1.0f, -1.0f, 2.0f, 0.5f, 1.5f};
+  const Activation act = GetParam();
+  auto f = [&](const std::vector<float>& x) {
+    Tape t;
+    return static_cast<double>(
+        t.value(weighted_sum(t, apply_activation(t, t.input(x), act, 1.0f), w))[0]);
+  };
+  Tape tape;
+  const NodeId x = tape.input(x0);
+  tape.backward(weighted_sum(tape, apply_activation(tape, x, act, 1.0f), w));
+  const auto r = grad_check(f, x0, tape.grad(x), 1e-2, 5e-3, 2e-2);
+  EXPECT_TRUE(r.ok) << activation_name(act) << " max_abs_err=" << r.max_abs_err;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ActivationGradCheck,
+                         ::testing::Values(Activation::kReLU, Activation::kSigmoid,
+                                           Activation::kLeakyReLU, Activation::kExp,
+                                           Activation::kCELU));
+
+// ---------------------------------------------------------------------------
+// weighted_sum / combine
+// ---------------------------------------------------------------------------
+
+TEST(WeightedSum, PlainSumWithEmptyWeights) {
+  Tape tape;
+  const NodeId x = tape.input({1.0f, 2.0f, 3.5f});
+  EXPECT_FLOAT_EQ(tape.value(weighted_sum(tape, x))[0], 6.5f);
+}
+
+TEST(WeightedSum, AcceptsTemporaryWeights) {
+  // Regression guard: the weight vector must be copied into the closure.
+  Tape tape;
+  const NodeId x = tape.input({2.0f, 4.0f});
+  NodeId y;
+  {
+    std::vector<float> w{1.0f, 0.25f};
+    y = weighted_sum(tape, x, w);
+    w.assign(2, 999.0f);  // mutate after the call
+  }
+  tape.backward(y);
+  EXPECT_FLOAT_EQ(tape.value(y)[0], 3.0f);
+  EXPECT_DOUBLE_EQ(tape.grad(x)[0], 1.0);
+  EXPECT_DOUBLE_EQ(tape.grad(x)[1], 0.25);
+}
+
+TEST(Combine, LinearCombinationOfScalars) {
+  Tape tape;
+  const NodeId a = tape.input({2.0f});
+  const NodeId b = tape.input({3.0f});
+  const NodeId y = combine(tape, {a, b}, {10.0f, 0.5f});
+  EXPECT_FLOAT_EQ(tape.value(y)[0], 21.5f);
+  tape.backward(y);
+  EXPECT_DOUBLE_EQ(tape.grad(a)[0], 10.0);
+  EXPECT_DOUBLE_EQ(tape.grad(b)[0], 0.5);
+}
+
+TEST(Combine, RejectsNonScalar) {
+  Tape tape;
+  const NodeId a = tape.input({2.0f, 1.0f});
+  EXPECT_THROW(combine(tape, {a}, {1.0f}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Composite graph: the full DGR-shaped forward
+// ---------------------------------------------------------------------------
+
+TEST(CompositeGraph, DgrShapedGradCheck) {
+  // softmax groups -> gather_mul -> spmv -> sub_const -> sigmoid -> sums.
+  util::Rng rng(11);
+  const std::vector<std::int32_t> p_groups{0, 2, 4, 6};
+  const std::vector<std::int32_t> q_groups{0, 2, 3};
+  const std::vector<std::int32_t> path_tree{0, 0, 1, 1, 2, 2};
+  // A 4-edge incidence over 6 paths:
+  //   edge0 <- {x0 (1), x2 (1)}, edge1 <- {x1 (1), x3 (1.5)},
+  //   edge2 <- {x4 (1)},         edge3 <- {x5 (1), x0 (0.5)}.
+  std::vector<std::uint32_t> fwd_off{0, 2, 4, 5, 7};
+  std::vector<std::int32_t> fwd_cols{0, 2, 1, 3, 4, 5, 0};
+  std::vector<float> fwd_w{1.0f, 1.0f, 1.0f, 1.5f, 1.0f, 1.0f, 0.5f};
+  std::vector<std::uint32_t> bwd_off{0, 2, 3, 4, 5, 6, 7};
+  std::vector<std::int32_t> bwd_cols{0, 3, 1, 0, 1, 2, 3};
+  std::vector<float> bwd_w{1.0f, 0.5f, 1.0f, 1.0f, 1.5f, 1.0f, 1.0f};
+  const SparseIncidence inc{&fwd_off, &fwd_cols, &fwd_w, &bwd_off, &bwd_cols, &bwd_w};
+  const std::vector<float> cap{1.0f, 0.5f, 2.0f, 1.0f};
+  const std::vector<float> wl{3.0f, 4.0f, 2.0f, 2.0f, 5.0f, 6.0f};
+
+  auto forward = [&](const std::vector<float>& params, Tape& tape, NodeId* pn, NodeId* qn) {
+    const std::vector<float> pw(params.begin(), params.begin() + 6);
+    const std::vector<float> qw(params.begin() + 6, params.end());
+    *pn = tape.input(pw);
+    *qn = tape.input(qw);
+    const NodeId p = segment_softmax(tape, *pn, p_groups, 0.8f);
+    const NodeId q = segment_softmax(tape, *qn, q_groups, 0.8f);
+    const NodeId eff = gather_mul(tape, q, path_tree, p);
+    const NodeId d = spmv(tape, eff, inc);
+    const NodeId slack = sub_const(tape, d, cap);
+    const NodeId over = apply_activation(tape, slack, Activation::kSigmoid);
+    const NodeId o = weighted_sum(tape, over);
+    const NodeId w = weighted_sum(tape, eff, wl);
+    return combine(tape, {o, w}, {500.0f, 0.5f});
+  };
+
+  std::vector<float> params = random_vec(rng, 9, 0.5f);
+  Tape tape;
+  NodeId pn, qn;
+  tape.backward(forward(params, tape, &pn, &qn));
+  std::vector<double> grad(9);
+  std::copy(tape.grad(pn).begin(), tape.grad(pn).end(), grad.begin());
+  std::copy(tape.grad(qn).begin(), tape.grad(qn).end(), grad.begin() + 6);
+
+  auto f = [&](const std::vector<float>& x) {
+    Tape t;
+    NodeId a, b;
+    return static_cast<double>(t.value(forward(x, t, &a, &b))[0]);
+  };
+  // Larger FD step: the forward runs in float32 and the 500x overflow weight
+  // amplifies rounding noise.
+  const auto r = grad_check(f, params, grad, 1e-2, 2e-2, 3e-2);
+  EXPECT_TRUE(r.ok) << "max_abs_err=" << r.max_abs_err << " rel=" << r.max_rel_err;
+}
+
+// ---------------------------------------------------------------------------
+// Adam
+// ---------------------------------------------------------------------------
+
+TEST(Adam, MinimisesQuadratic) {
+  // f(x) = sum (x - target)^2, gradient 2(x - target).
+  const std::vector<double> target{3.0, -1.0, 0.5};
+  std::vector<float> x{0.0f, 0.0f, 0.0f};
+  Adam adam(3, {0.1, 0.9, 0.999, 1e-8});
+  for (int it = 0; it < 500; ++it) {
+    std::vector<double> g(3);
+    for (std::size_t i = 0; i < 3; ++i) g[i] = 2.0 * (x[i] - target[i]);
+    adam.step(x, g);
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], target[i], 1e-2);
+  EXPECT_EQ(adam.iteration(), 500);
+}
+
+TEST(Adam, StepSizeBoundedByLearningRate) {
+  std::vector<float> x{0.0f};
+  Adam adam(1, {0.3, 0.9, 0.999, 1e-8});
+  adam.step(x, {1000.0});
+  // Adam's first step magnitude is ~lr regardless of gradient scale.
+  EXPECT_NEAR(std::abs(x[0]), 0.3, 0.05);
+}
+
+TEST(Adam, RejectsSizeMismatch) {
+  std::vector<float> x{0.0f, 1.0f};
+  Adam adam(2);
+  std::vector<double> g{1.0};
+  EXPECT_THROW(adam.step(x, g), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// grad_check self-test
+// ---------------------------------------------------------------------------
+
+TEST(GradCheck, AcceptsCorrectAndRejectsWrongGradients) {
+  auto f = [](const std::vector<float>& x) {
+    return static_cast<double>(x[0]) * x[0] + 3.0 * x[1];
+  };
+  const std::vector<float> x0{2.0f, 1.0f};
+  EXPECT_TRUE(grad_check(f, x0, {4.0, 3.0}).ok);
+  EXPECT_FALSE(grad_check(f, x0, {4.5, 3.0}).ok);
+}
+
+
+TEST(SegmentSoftmax, EmptyGroupIsSkipped) {
+  Tape tape;
+  const NodeId x = tape.input({1.0f, 2.0f});
+  // Middle group [1,1) is empty; forward and backward must not touch it.
+  const std::vector<std::int32_t> offsets{0, 1, 1, 2};
+  const NodeId y = segment_softmax(tape, x, offsets, 1.0f);
+  EXPECT_FLOAT_EQ(tape.value(y)[0], 1.0f);
+  EXPECT_FLOAT_EQ(tape.value(y)[1], 1.0f);
+  tape.backward(weighted_sum(tape, y));
+  EXPECT_DOUBLE_EQ(tape.grad(x)[0], 0.0);  // softmax of singleton: flat
+}
+
+TEST(Spmv, EmptyRowsProduceZero) {
+  const std::vector<std::uint32_t> fwd_off{0, 0, 1, 1};
+  const std::vector<std::int32_t> fwd_cols{0};
+  const std::vector<float> fwd_w{2.0f};
+  const std::vector<std::uint32_t> bwd_off{0, 1};
+  const std::vector<std::int32_t> bwd_cols{1};
+  const std::vector<float> bwd_w{2.0f};
+  const SparseIncidence inc{&fwd_off, &fwd_cols, &fwd_w, &bwd_off, &bwd_cols, &bwd_w};
+  Tape tape;
+  const NodeId x = tape.input({3.0f});
+  const NodeId y = spmv(tape, x, inc);
+  EXPECT_FLOAT_EQ(tape.value(y)[0], 0.0f);
+  EXPECT_FLOAT_EQ(tape.value(y)[1], 6.0f);
+  EXPECT_FLOAT_EQ(tape.value(y)[2], 0.0f);
+  tape.backward(weighted_sum(tape, y));
+  EXPECT_DOUBLE_EQ(tape.grad(x)[0], 2.0);
+}
+
+}  // namespace
+}  // namespace dgr::ad

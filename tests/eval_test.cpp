@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "eval/metrics.hpp"
+#include "eval/solution.hpp"
+#include "eval/table.hpp"
+
+namespace dgr::eval {
+namespace {
+
+using design::Design;
+using design::Net;
+using geom::Point;
+using grid::GCellGrid;
+
+struct Fixture {
+  std::unique_ptr<Design> design;
+  std::vector<float> cap;
+  RouteSolution sol;
+
+  static Fixture make() {
+    Fixture fx;
+    GCellGrid grid = GCellGrid::uniform(6, 6, 2, 1);
+    std::vector<Net> nets;
+    nets.push_back({"a", {{0, 0}, {3, 3}}});
+    nets.push_back({"b", {{0, 3}, {3, 0}}});
+    fx.design = std::make_unique<Design>("fx", std::move(grid), std::move(nets));
+    fx.cap.assign(static_cast<std::size_t>(fx.design->grid().edge_count()), 1.0f);
+    fx.sol.design = fx.design.get();
+    NetRoute a;
+    a.design_net = 0;
+    a.paths.push_back(dag::PatternPath{{{0, 0}, {3, 0}, {3, 3}}});  // L, 1 bend
+    NetRoute b;
+    b.design_net = 1;
+    b.paths.push_back(dag::PatternPath{{{0, 3}, {3, 3}, {3, 0}}});  // L, 1 bend
+    fx.sol.nets = {a, b};
+    return fx;
+  }
+};
+
+TEST(Solution, DemandCountsWireCrossings) {
+  Fixture fx = Fixture::make();
+  const grid::DemandMap dm = fx.sol.demand(0.0f);
+  const auto& grid = fx.design->grid();
+  // Net a crosses h(0..2,0) and v(3,0..2); net b crosses h(0..2,3), v(3,0..2).
+  EXPECT_DOUBLE_EQ(dm.demand(grid.h_edge(0, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(dm.demand(grid.h_edge(0, 3)), 1.0);
+  EXPECT_DOUBLE_EQ(dm.demand(grid.v_edge(3, 1)), 2.0);  // shared column
+  EXPECT_DOUBLE_EQ(dm.demand(grid.h_edge(0, 1)), 0.0);
+}
+
+TEST(Solution, ViaChargesLandOnBendEdges) {
+  Fixture fx = Fixture::make();
+  const grid::DemandMap with_via = fx.sol.demand(0.5f);
+  const grid::DemandMap without = fx.sol.demand(0.0f);
+  double diff = 0.0;
+  for (std::size_t e = 0; e < with_via.raw().size(); ++e) {
+    diff += with_via.raw()[e] - without.raw()[e];
+  }
+  // Two bends, beta=0.5 each split over two edges -> total extra = 2 * 0.5.
+  EXPECT_NEAR(diff, 1.0, 1e-9);
+  // The bend of net a is at (3,0): edges h(2,0) and v(3,0) get +0.25 each.
+  const auto& grid = fx.design->grid();
+  EXPECT_NEAR(with_via.demand(grid.h_edge(2, 0)) - without.demand(grid.h_edge(2, 0)),
+              0.25, 1e-9);
+}
+
+TEST(Solution, ApplyNetIsReversible) {
+  Fixture fx = Fixture::make();
+  grid::DemandMap dm(fx.design->grid());
+  RouteSolution::apply_net(dm, *fx.design, fx.sol.nets[0], 0.5f, +1.0);
+  RouteSolution::apply_net(dm, *fx.design, fx.sol.nets[0], 0.5f, -1.0);
+  for (const double d : dm.raw()) EXPECT_NEAR(d, 0.0, 1e-12);
+}
+
+TEST(Solution, WirelengthAndBends) {
+  Fixture fx = Fixture::make();
+  EXPECT_EQ(fx.sol.total_wirelength(), 12);
+  EXPECT_EQ(fx.sol.total_bends(), 2);
+}
+
+TEST(Solution, ConnectivityDetectsCoveredPins) {
+  Fixture fx = Fixture::make();
+  EXPECT_TRUE(fx.sol.connects_all_pins());
+  // Break net a: replace its path with one that misses pin (3,3).
+  fx.sol.nets[0].paths = {dag::PatternPath{{{0, 0}, {3, 0}}}};
+  EXPECT_FALSE(fx.sol.connects_all_pins());
+}
+
+TEST(Solution, ConnectivityDetectsDisjointPieces) {
+  Fixture fx = Fixture::make();
+  // Two pieces touching both pins but not each other.
+  fx.sol.nets[0].paths = {dag::PatternPath{{{0, 0}, {1, 0}}},
+                          dag::PatternPath{{{3, 1}, {3, 3}}}};
+  EXPECT_FALSE(fx.sol.connects_all_pins());
+}
+
+TEST(Solution, ConnectivityAcceptsPathsMeetingMidway) {
+  Fixture fx = Fixture::make();
+  fx.sol.nets[0].paths = {dag::PatternPath{{{0, 0}, {2, 0}}},
+                          dag::PatternPath{{{2, 0}, {2, 3}, {3, 3}}}};
+  EXPECT_TRUE(fx.sol.connects_all_pins());
+}
+
+TEST(Metrics, CountsOverflowOnSharedColumn) {
+  Fixture fx = Fixture::make();
+  const Metrics m = compute_metrics(fx.sol, fx.cap, 0.0f);
+  // v(3,0..2) carries demand 2 with cap 1 -> 3 overflowed edges.
+  EXPECT_EQ(m.overflow_edges, 3);
+  EXPECT_DOUBLE_EQ(m.total_overflow, 3.0);
+  EXPECT_DOUBLE_EQ(m.peak_overflow, 1.0);
+  EXPECT_EQ(m.wirelength, 12);
+  EXPECT_EQ(m.bends, 2);
+}
+
+TEST(Metrics, NetsWithOverflowCountsBothSharers) {
+  Fixture fx = Fixture::make();
+  EXPECT_EQ(nets_with_overflow(fx.sol, fx.cap, 0.0f), 2);
+  // Raise capacity: no overflow, no overflowed nets.
+  std::vector<float> roomy(fx.cap.size(), 4.0f);
+  EXPECT_EQ(nets_with_overflow(fx.sol, roomy, 0.0f), 0);
+}
+
+TEST(Metrics, WeightedOverflowFormula) {
+  Fixture fx = Fixture::make();
+  // n1 = 2 nets, n2 = 3 edges, peak = 1 -> 10*2 + 1000*3 + 10000*1.
+  EXPECT_DOUBLE_EQ(weighted_overflow(fx.sol, fx.cap, 0.0f), 13020.0);
+}
+
+TEST(TablePrinter, AlignsAndSeparates) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_separator();
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer-name | 22    |"), std::string::npos);
+  // Header, separator and bottom rules: at least 4 '+--' lines.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TablePrinter, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Formatters, Basics) {
+  EXPECT_EQ(fmt_int(-42), "-42");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_or_na(false, 1.0), "N/A");
+  EXPECT_EQ(fmt_or_na(true, 1.5, 1), "1.5");
+  EXPECT_EQ(fmt_ratio(1.23456), "1.2346");
+}
+
+}  // namespace
+}  // namespace dgr::eval

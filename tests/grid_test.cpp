@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "grid/demand_map.hpp"
+#include "grid/gcell_grid.hpp"
+
+namespace dgr::grid {
+namespace {
+
+TEST(GCellGrid, EdgeCountsMatchFormula) {
+  const GCellGrid g(7, 5, {{Dir::kHorizontal, 2}, {Dir::kVertical, 3}});
+  EXPECT_EQ(g.h_edge_count(), 6 * 5);
+  EXPECT_EQ(g.v_edge_count(), 7 * 4);
+  EXPECT_EQ(g.edge_count(), 30 + 28);
+  EXPECT_EQ(g.cell_count(), 35);
+}
+
+TEST(GCellGrid, RejectsEmptyGrid) {
+  EXPECT_THROW(GCellGrid(0, 5, {}), std::invalid_argument);
+  EXPECT_THROW(GCellGrid(5, 0, {}), std::invalid_argument);
+}
+
+TEST(GCellGrid, CellIdRoundTrip) {
+  const GCellGrid g = GCellGrid::uniform(9, 4, 2, 1);
+  for (geom::Coord y = 0; y < 4; ++y) {
+    for (geom::Coord x = 0; x < 9; ++x) {
+      const CellId c = g.cell_id({x, y});
+      EXPECT_EQ(g.cell_point(c), (geom::Point{x, y}));
+    }
+  }
+}
+
+TEST(GCellGrid, EdgeIdsAreDenseAndUnique) {
+  const GCellGrid g = GCellGrid::uniform(6, 7, 2, 1);
+  std::set<EdgeId> ids;
+  for (geom::Coord y = 0; y < 7; ++y) {
+    for (geom::Coord x = 0; x < 5; ++x) ids.insert(g.h_edge(x, y));
+  }
+  for (geom::Coord y = 0; y < 6; ++y) {
+    for (geom::Coord x = 0; x < 6; ++x) ids.insert(g.v_edge(x, y));
+  }
+  EXPECT_EQ(static_cast<EdgeId>(ids.size()), g.edge_count());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), g.edge_count() - 1);
+}
+
+TEST(GCellGrid, EdgeCellsInverseOfEdgeBetween) {
+  const GCellGrid g = GCellGrid::uniform(5, 5, 2, 1);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [a, b] = g.edge_cells(e);
+    EXPECT_EQ(g.edge_between(a, b), e);
+    EXPECT_EQ(g.edge_between(b, a), e);
+    EXPECT_EQ(geom::manhattan(a, b), 1);
+  }
+}
+
+TEST(GCellGrid, EdgeBetweenRejectsNonAdjacent) {
+  const GCellGrid g = GCellGrid::uniform(5, 5, 2, 1);
+  EXPECT_EQ(g.edge_between({0, 0}, {2, 0}), kInvalidEdge);
+  EXPECT_EQ(g.edge_between({0, 0}, {1, 1}), kInvalidEdge);
+  EXPECT_EQ(g.edge_between({0, 0}, {0, 0}), kInvalidEdge);
+  EXPECT_EQ(g.edge_between({0, 0}, {-1, 0}), kInvalidEdge);
+}
+
+TEST(GCellGrid, EdgeDirMatchesGeometry) {
+  const GCellGrid g = GCellGrid::uniform(4, 4, 2, 1);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto [a, b] = g.edge_cells(e);
+    if (a.y == b.y) {
+      EXPECT_EQ(g.edge_dir(e), Dir::kHorizontal);
+    } else {
+      EXPECT_EQ(g.edge_dir(e), Dir::kVertical);
+    }
+  }
+}
+
+TEST(GCellGrid, UniformLayerStackAlternates) {
+  const GCellGrid g = GCellGrid::uniform(4, 4, 5, 3, /*reserve_pin_layer=*/true);
+  ASSERT_EQ(g.layer_count(), 5);
+  EXPECT_EQ(g.layers()[0].dir, Dir::kHorizontal);
+  EXPECT_EQ(g.layers()[0].tracks, 0);  // pin layer reserved
+  EXPECT_EQ(g.layers()[1].dir, Dir::kVertical);
+  EXPECT_EQ(g.layers()[1].tracks, 3);
+  EXPECT_EQ(g.layers()[2].dir, Dir::kHorizontal);
+  // Direction totals: H layers 0,2,4 -> 0+3+3; V layers 1,3 -> 3+3.
+  EXPECT_EQ(g.direction_tracks(Dir::kHorizontal), 6);
+  EXPECT_EQ(g.direction_tracks(Dir::kVertical), 6);
+  EXPECT_EQ(g.direction_layers(Dir::kHorizontal), 3);
+  EXPECT_EQ(g.direction_layers(Dir::kVertical), 2);
+}
+
+TEST(Capacity, NoPressureGivesBaseTracks) {
+  const GCellGrid g = GCellGrid::uniform(4, 4, 2, 5);
+  const auto cap = compute_capacities(g, {});
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_FLOAT_EQ(cap[static_cast<std::size_t>(e)], 5.0f);
+  }
+}
+
+TEST(Capacity, PinDensityReducesCapacity) {
+  const GCellGrid g = GCellGrid::uniform(3, 3, 2, 5);
+  CapacityInputs in;
+  in.pin_density.assign(static_cast<std::size_t>(g.cell_count()), 0.0f);
+  in.pin_density[static_cast<std::size_t>(g.cell_id({1, 1}))] = 4.0f;  // centre cell
+  in.beta_default = 0.5f;
+  const auto cap = compute_capacities(g, in);
+  // Centre cell has 4 incident edges; each gets beta*4/4 = 0.5 pressure.
+  const EdgeId touching = g.h_edge(0, 1);  // (0,1)-(1,1)
+  EXPECT_FLOAT_EQ(cap[static_cast<std::size_t>(touching)], 5.0f - 0.5f);
+  // An edge not touching the centre keeps full capacity.
+  const EdgeId far = g.h_edge(0, 0);
+  EXPECT_FLOAT_EQ(cap[static_cast<std::size_t>(far)], 5.0f);
+}
+
+TEST(Capacity, TotalChargedPressureEqualsCellPressure) {
+  // The per-edge split must conserve the total charge of a cell.
+  const GCellGrid g = GCellGrid::uniform(5, 5, 2, 10);
+  CapacityInputs in;
+  in.pin_density.assign(static_cast<std::size_t>(g.cell_count()), 0.0f);
+  in.pin_density[static_cast<std::size_t>(g.cell_id({2, 2}))] = 6.0f;
+  in.beta_default = 1.0f;
+  const auto cap = compute_capacities(g, in);
+  double charged = 0.0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    charged += 10.0 - cap[static_cast<std::size_t>(e)];
+  }
+  EXPECT_NEAR(charged, 6.0, 1e-5);
+}
+
+TEST(Capacity, LocalNetsChargeWithoutBeta) {
+  const GCellGrid g = GCellGrid::uniform(3, 3, 2, 5);
+  CapacityInputs in;
+  in.local_nets.assign(static_cast<std::size_t>(g.cell_count()), 0.0f);
+  in.local_nets[static_cast<std::size_t>(g.cell_id({0, 0}))] = 2.0f;  // corner: 2 edges
+  const auto cap = compute_capacities(g, in);
+  EXPECT_FLOAT_EQ(cap[static_cast<std::size_t>(g.h_edge(0, 0))], 4.0f);
+  EXPECT_FLOAT_EQ(cap[static_cast<std::size_t>(g.v_edge(0, 0))], 4.0f);
+}
+
+TEST(Capacity, ClampsAtZero) {
+  const GCellGrid g = GCellGrid::uniform(3, 3, 2, 1);
+  CapacityInputs in;
+  in.pin_density.assign(static_cast<std::size_t>(g.cell_count()), 100.0f);
+  const auto cap = compute_capacities(g, in);
+  for (const float c : cap) EXPECT_GE(c, 0.0f);
+}
+
+TEST(Capacity, PerCellBetaOverridesDefault) {
+  const GCellGrid g = GCellGrid::uniform(3, 1, 2, 5);
+  CapacityInputs in;
+  in.pin_density.assign(static_cast<std::size_t>(g.cell_count()), 2.0f);
+  in.beta.assign(static_cast<std::size_t>(g.cell_count()), 0.0f);  // beta=0: no pin charge
+  in.beta_default = 9.0f;                                          // would clamp everything
+  const auto cap = compute_capacities(g, in);
+  for (const float c : cap) EXPECT_FLOAT_EQ(c, 5.0f);
+}
+
+TEST(DemandMap, OverflowAccounting) {
+  const GCellGrid g = GCellGrid::uniform(3, 3, 2, 1);
+  DemandMap dm(g);
+  std::vector<float> cap(static_cast<std::size_t>(g.edge_count()), 1.0f);
+  EXPECT_EQ(dm.overflowed_edge_count(cap), 0);
+  EXPECT_DOUBLE_EQ(dm.total_overflow(cap), 0.0);
+
+  dm.add(g.h_edge(0, 0), 3.0);  // 2 over
+  dm.add(g.v_edge(1, 1), 1.0);  // exactly at cap: not overflowed
+  dm.add(g.v_edge(0, 0), 1.5);  // 0.5 over
+  EXPECT_EQ(dm.overflowed_edge_count(cap), 2);
+  EXPECT_DOUBLE_EQ(dm.total_overflow(cap), 2.5);
+  EXPECT_DOUBLE_EQ(dm.peak_overflow(cap), 2.0);
+
+  dm.clear();
+  EXPECT_EQ(dm.overflowed_edge_count(cap), 0);
+}
+
+TEST(DemandMap, NegativeContributionsCancel) {
+  const GCellGrid g = GCellGrid::uniform(3, 3, 2, 1);
+  DemandMap dm(g);
+  dm.add(0, 2.0);
+  dm.add(0, -2.0);
+  EXPECT_DOUBLE_EQ(dm.demand(0), 0.0);
+}
+
+class GridSizeSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GridSizeSweep, EdgeEnumerationConsistent) {
+  const auto [w, h] = GetParam();
+  const GCellGrid g = GCellGrid::uniform(w, h, 3, 2);
+  std::set<EdgeId> seen;
+  for (geom::Coord y = 0; y < h; ++y) {
+    for (geom::Coord x = 0; x < w; ++x) {
+      const geom::Point p{x, y};
+      const geom::Point right{static_cast<geom::Coord>(x + 1), y};
+      const geom::Point up{x, static_cast<geom::Coord>(y + 1)};
+      if (x + 1 < w) seen.insert(g.edge_between(p, right));
+      if (y + 1 < h) seen.insert(g.edge_between(p, up));
+    }
+  }
+  EXPECT_EQ(static_cast<EdgeId>(seen.size()), g.edge_count());
+  EXPECT_FALSE(seen.count(kInvalidEdge));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridSizeSweep,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 8},
+                                           std::pair{8, 1}, std::pair{2, 2},
+                                           std::pair{13, 7}, std::pair{32, 32}));
+
+}  // namespace
+}  // namespace dgr::grid

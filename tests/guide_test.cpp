@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/solver.hpp"
+#include "design/generator.hpp"
+#include "post/guide.hpp"
+#include "post/layer_assign.hpp"
+#include "post/maze_refine.hpp"
+#include "routers/cugr2lite.hpp"
+
+namespace dgr::post {
+namespace {
+
+using design::Design;
+using design::Net;
+using eval::NetRoute;
+using eval::RouteSolution;
+using geom::Point;
+using grid::GCellGrid;
+
+struct Fixture {
+  std::unique_ptr<Design> design;
+  RouteSolution sol;
+
+  static Fixture make() {
+    Fixture fx;
+    GCellGrid grid = GCellGrid::uniform(10, 10, 4, 3);
+    std::vector<Net> nets;
+    nets.push_back({"l", {{1, 1}, {6, 5}}});
+    nets.push_back({"s", {{0, 8}, {8, 8}}});
+    fx.design = std::make_unique<Design>("gfx", std::move(grid), std::move(nets));
+    fx.sol.design = fx.design.get();
+    NetRoute l;
+    l.design_net = 0;
+    l.paths.push_back(dag::PatternPath{{{1, 1}, {6, 1}, {6, 5}}});
+    NetRoute s;
+    s.design_net = 1;
+    s.paths.push_back(dag::PatternPath{{{0, 8}, {8, 8}}});
+    fx.sol.nets = {l, s};
+    return fx;
+  }
+};
+
+TEST(Guides, CoverHandBuiltSolution) {
+  Fixture fx = Fixture::make();
+  const auto cap = fx.design->capacities();
+  const LayerAssignment la = assign_layers(fx.sol, cap);
+  const RouteGuides guides = make_guides(fx.sol, la);
+  ASSERT_EQ(guides.nets.size(), 2u);
+  EXPECT_GT(guides.box_count(), 0u);
+  EXPECT_TRUE(guides_cover_solution(guides, fx.sol, la));
+}
+
+TEST(Guides, WireBoxesSitOnAssignedLayers) {
+  Fixture fx = Fixture::make();
+  const auto cap = fx.design->capacities();
+  const LayerAssignment la = assign_layers(fx.sol, cap);
+  const RouteGuides guides = make_guides(fx.sol, la);
+  // Net 0's first leg is horizontal from (1,1) to (6,1) on la.leg_layers[0][0].
+  const int h_layer = la.leg_layers[0][0];
+  bool found = false;
+  for (const GuideBox& box : guides.nets[0].boxes) {
+    if (box.layer == h_layer && box.rect.contains({3, 1}) && box.rect.contains({6, 1})) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Guides, ViaStacksReachThePinLayer) {
+  Fixture fx = Fixture::make();
+  const auto cap = fx.design->capacities();
+  const LayerAssignment la = assign_layers(fx.sol, cap);
+  const RouteGuides guides = make_guides(fx.sol, la);
+  // Every pin cell must be covered at layer 0 and at its wire layer, with
+  // no gap between (checked wholesale by guides_cover_solution; spot-check
+  // the pin stack here).
+  auto covered = [&](std::size_t n, Point p, int layer) {
+    for (const GuideBox& box : guides.nets[n].boxes) {
+      if (box.layer == layer && box.rect.contains(p)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(covered(0, {1, 1}, 0));
+  EXPECT_TRUE(covered(0, {6, 5}, 0));
+  EXPECT_TRUE(covered(1, {0, 8}, 0));
+}
+
+TEST(Guides, MarginInflatesBoxesWithinGrid) {
+  Fixture fx = Fixture::make();
+  const auto cap = fx.design->capacities();
+  const LayerAssignment la = assign_layers(fx.sol, cap);
+  GuideOptions opts;
+  opts.margin = 2;
+  const RouteGuides guides = make_guides(fx.sol, la, opts);
+  EXPECT_TRUE(guides_cover_solution(guides, fx.sol, la));
+  for (const NetGuide& net : guides.nets) {
+    for (const GuideBox& box : net.boxes) {
+      EXPECT_GE(box.rect.lo.x, 0);
+      EXPECT_GE(box.rect.lo.y, 0);
+      EXPECT_LT(box.rect.hi.x, fx.design->grid().width());
+      EXPECT_LT(box.rect.hi.y, fx.design->grid().height());
+    }
+  }
+}
+
+TEST(Guides, DetectsMissingCoverage) {
+  Fixture fx = Fixture::make();
+  const auto cap = fx.design->capacities();
+  const LayerAssignment la = assign_layers(fx.sol, cap);
+  RouteGuides guides = make_guides(fx.sol, la);
+  guides.nets[0].boxes.clear();  // destroy net 0's guide
+  EXPECT_FALSE(guides_cover_solution(guides, fx.sol, la));
+}
+
+TEST(Guides, TextDumpHasIspdShape) {
+  Fixture fx = Fixture::make();
+  const auto cap = fx.design->capacities();
+  const LayerAssignment la = assign_layers(fx.sol, cap);
+  const RouteGuides guides = make_guides(fx.sol, la);
+  std::ostringstream os;
+  write_guides(os, guides, *fx.design);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("l\n(\n"), std::string::npos);
+  EXPECT_NE(s.find("s\n(\n"), std::string::npos);
+  // Every open paren closed.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '('), std::count(s.begin(), s.end(), ')'));
+}
+
+TEST(Guides, FullDgrPipelineProducesCoveringGuides) {
+  design::IspdLikeParams p;
+  p.num_nets = 150;
+  p.grid_w = p.grid_h = 18;
+  p.layers = 5;
+  const Design d = design::generate_ispd_like(p, 44);
+  const auto cap = d.capacities();
+  const dag::DagForest forest = dag::DagForest::build(d, {});
+  core::DgrConfig config;
+  config.iterations = 80;
+  config.temperature_interval = 20;
+  core::DgrSolver solver(forest, cap, config);
+  solver.train();
+  RouteSolution sol = solver.extract();
+  maze_refine(sol, cap);
+  const LayerAssignment la = assign_layers(sol, cap);
+  const RouteGuides guides = make_guides(sol, la);
+  EXPECT_TRUE(guides_cover_solution(guides, sol, la));
+  EXPECT_GT(guides.box_count(), sol.nets.size());
+}
+
+TEST(Guides, CoverBaselineRouterSolutions) {
+  design::IspdLikeParams p;
+  p.num_nets = 120;
+  p.grid_w = p.grid_h = 16;
+  p.layers = 5;
+  const Design d = design::generate_ispd_like(p, 45);
+  const auto cap = d.capacities();
+  routers::Cugr2Lite router(d, cap);
+  const RouteSolution sol = router.route();
+  const LayerAssignment la = assign_layers(sol, cap);
+  const RouteGuides guides = make_guides(sol, la);
+  EXPECT_TRUE(guides_cover_solution(guides, sol, la));
+}
+
+}  // namespace
+}  // namespace dgr::post

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "design/generator.hpp"
+#include "eval/metrics.hpp"
+#include "ilp/branch_bound.hpp"
+#include "ilp/routing_ilp.hpp"
+#include "ilp/simplex.hpp"
+
+namespace dgr::ilp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simplex LP
+// ---------------------------------------------------------------------------
+
+TEST(Simplex, SolvesTextbookMaximisation) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Dantzig's example)
+  // => min -3x - 5y; optimum x=2, y=6, z=36.
+  LinearProgram lp;
+  const int x = lp.add_var(-3.0);
+  const int y = lp.add_var(-5.0);
+  lp.add_constraint({{x, 1.0}}, Rel::kLe, 4.0);
+  lp.add_constraint({{y, 2.0}}, Rel::kLe, 12.0);
+  lp.add_constraint({{x, 3.0}, {y, 2.0}}, Rel::kLe, 18.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -36.0, 1e-7);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(y)], 6.0, 1e-7);
+}
+
+TEST(Simplex, HandlesEqualityConstraints) {
+  // min x + 2y s.t. x + y = 10, x <= 4 -> x=4, y=6, z=16.
+  LinearProgram lp;
+  const int x = lp.add_var(1.0);
+  const int y = lp.add_var(2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Rel::kEq, 10.0);
+  lp.add_constraint({{x, 1.0}}, Rel::kLe, 4.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 16.0, 1e-7);
+}
+
+TEST(Simplex, HandlesGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 4, x - y >= -2, y >= 0 -> y is free to shrink:
+  // optimum at intersection? x+y=4 with max x: unconstrained above... take
+  // x=4, y=0: check x - y = 4 >= -2 ok; z = 8. Any x>4 raises z. Optimal 8.
+  LinearProgram lp;
+  const int x = lp.add_var(2.0);
+  const int y = lp.add_var(3.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Rel::kGe, 4.0);
+  lp.add_constraint({{x, 1.0}, {y, -1.0}}, Rel::kGe, -2.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 8.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LinearProgram lp;
+  const int x = lp.add_var(1.0);
+  lp.add_constraint({{x, 1.0}}, Rel::kLe, 2.0);
+  lp.add_constraint({{x, 1.0}}, Rel::kGe, 5.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram lp;
+  const int x = lp.add_var(-1.0);  // min -x, x unbounded above
+  lp.add_constraint({{x, 1.0}}, Rel::kGe, 0.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalisation) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  LinearProgram lp;
+  const int x = lp.add_var(1.0);
+  lp.add_constraint({{x, -1.0}}, Rel::kLe, -3.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degenerate LP (multiple constraints active at the optimum).
+  LinearProgram lp;
+  const int x = lp.add_var(-1.0);
+  const int y = lp.add_var(-1.0);
+  lp.add_constraint({{x, 1.0}}, Rel::kLe, 1.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Rel::kLe, 1.0);
+  lp.add_constraint({{y, 1.0}}, Rel::kLe, 1.0);
+  lp.add_constraint({{x, 1.0}, {y, 2.0}}, Rel::kLe, 2.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-7);
+}
+
+TEST(Simplex, ZeroObjectiveFeasibilityProblem) {
+  LinearProgram lp;
+  const int x = lp.add_var(0.0);
+  lp.add_constraint({{x, 1.0}}, Rel::kEq, 7.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 7.0, 1e-7);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  // x + y = 2 listed twice: phase 1 must cope with the redundant artificial.
+  LinearProgram lp;
+  const int x = lp.add_var(1.0);
+  const int y = lp.add_var(1.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Rel::kEq, 2.0);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Rel::kEq, 2.0);
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// Branch & bound MILP
+// ---------------------------------------------------------------------------
+
+TEST(Milp, IntegerKnapsack) {
+  // max 8a + 11b + 6c  with 5a + 7b + 4c <= 14, binaries.
+  // Optimum: b + c + a? 5+7+4=16 > 14; best is a+b (12 weight) = 19? c+b=17 w11,
+  // a+c = 14 w10 -> a+b: 19, b+c: 17, a+c: 14... max is a+b = 19.
+  LinearProgram lp;
+  const int a = lp.add_var(-8.0);
+  const int b = lp.add_var(-11.0);
+  const int c = lp.add_var(-6.0);
+  lp.add_constraint({{a, 5.0}, {b, 7.0}, {c, 4.0}}, Rel::kLe, 14.0);
+  for (const int v : {a, b, c}) lp.add_constraint({{v, 1.0}}, Rel::kLe, 1.0);
+  const MilpResult r = solve_milp(lp, {a, b, c});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -19.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(a)], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(b)], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(c)], 0.0, 1e-6);
+}
+
+TEST(Milp, IntegralLpNeedsNoBranching) {
+  LinearProgram lp;
+  const int x = lp.add_var(-1.0);
+  lp.add_constraint({{x, 1.0}}, Rel::kLe, 3.0);
+  const MilpResult r = solve_milp(lp, {x});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -3.0, 1e-7);
+  EXPECT_EQ(r.nodes_explored, 1);
+}
+
+TEST(Milp, MixedIntegerContinuous) {
+  // min -x - 0.5y, x integer <= 2.5, y continuous <= 1.5, x + y <= 3.
+  LinearProgram lp;
+  const int x = lp.add_var(-1.0);
+  const int y = lp.add_var(-0.5);
+  lp.add_constraint({{x, 1.0}}, Rel::kLe, 2.5);
+  lp.add_constraint({{y, 1.0}}, Rel::kLe, 1.5);
+  lp.add_constraint({{x, 1.0}, {y, 1.0}}, Rel::kLe, 3.0);
+  const MilpResult r = solve_milp(lp, {x});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  // x=2 (integral), y=1 -> -2.5.
+  EXPECT_NEAR(r.objective, -2.5, 1e-6);
+}
+
+TEST(Milp, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  LinearProgram lp;
+  const int x = lp.add_var(1.0);
+  lp.add_constraint({{x, 1.0}}, Rel::kGe, 0.4);
+  lp.add_constraint({{x, 1.0}}, Rel::kLe, 0.6);
+  const MilpResult r = solve_milp(lp, {x});
+  EXPECT_FALSE(r.has_incumbent);
+  EXPECT_NE(r.status, LpStatus::kOptimal);
+}
+
+TEST(Milp, TimeLimitReportsTimeout) {
+  // A knapsack big enough to need branching, with a zero time budget.
+  LinearProgram lp;
+  std::vector<int> ints;
+  for (int i = 0; i < 12; ++i) {
+    const int v = lp.add_var(-(7.0 + (i * 13) % 5));
+    ints.push_back(v);
+    lp.add_constraint({{v, 1.0}}, Rel::kLe, 1.0);
+  }
+  std::vector<std::pair<int, double>> weight_terms;
+  for (int i = 0; i < 12; ++i) weight_terms.emplace_back(ints[static_cast<std::size_t>(i)], 3.0 + (i * 7) % 4);
+  lp.add_constraint(weight_terms, Rel::kLe, 11.0);
+  MilpOptions opts;
+  opts.time_limit_seconds = 0.0;
+  const MilpResult r = solve_milp(lp, ints, opts);
+  EXPECT_TRUE(r.timed_out);
+}
+
+// ---------------------------------------------------------------------------
+// Routing ILP
+// ---------------------------------------------------------------------------
+
+struct Instance {
+  std::unique_ptr<design::Design> design;
+  std::vector<float> cap;
+  std::unique_ptr<dag::DagForest> forest;
+};
+
+Instance table1_instance(int grid, int cap, int nets, int box, std::uint64_t seed) {
+  design::Table1Params params;
+  params.grid_w = params.grid_h = grid;
+  params.capacity = cap;
+  params.num_nets = nets;
+  params.box_size = box;
+  auto t1 = design::make_table1_instance(params, seed);
+  Instance inst;
+  inst.design = std::make_unique<design::Design>(std::move(t1.design));
+  inst.cap = std::move(t1.capacities);
+  dag::ForestOptions fopts;
+  fopts.tree.congestion_shifted = false;  // one FLUTE tree per net
+  fopts.via_demand_beta = 0.0f;           // wire-only protocol
+  inst.forest = std::make_unique<dag::DagForest>(dag::DagForest::build(*inst.design, fopts));
+  return inst;
+}
+
+TEST(RoutingIlp, RequiresProtocolForest) {
+  design::IspdLikeParams p;
+  p.num_nets = 20;
+  p.grid_w = p.grid_h = 12;
+  auto d = design::generate_ispd_like(p, 1);
+  const auto cap = d.capacities();
+  const dag::DagForest multi_tree = dag::DagForest::build(d, {});  // default beta != 0
+  EXPECT_THROW(build_routing_ilp(multi_tree, cap), std::invalid_argument);
+}
+
+TEST(RoutingIlp, ModelShape) {
+  Instance inst = table1_instance(10, 1, 6, 4, 3);
+  const RoutingIlp model = build_routing_ilp(*inst.forest, inst.cap);
+  EXPECT_EQ(model.path_var.size(), inst.forest->paths().size());
+  EXPECT_EQ(model.integer_vars.size(), inst.forest->paths().size());
+  // Constraints: one equality per subnet + one per contended edge.
+  EXPECT_EQ(model.lp.constraints.size(),
+            inst.forest->subnets().size() + model.contended_edges);
+}
+
+TEST(RoutingIlp, SolutionDecodesAndConnects) {
+  Instance inst = table1_instance(12, 1, 8, 5, 7);
+  MilpOptions opts;
+  opts.time_limit_seconds = 30.0;
+  const RoutingIlpResult r = solve_routing_ilp(*inst.forest, inst.cap, opts);
+  ASSERT_TRUE(r.milp.has_incumbent);
+  EXPECT_TRUE(r.solution.connects_all_pins());
+  // Reported objective equals the decoded solution's ReLU overflow.
+  const grid::DemandMap dm = r.solution.demand(0.0f);
+  EXPECT_NEAR(dm.total_overflow(inst.cap), r.overflow, 1e-6);
+}
+
+class RoutingIlpVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingIlpVsBruteForce, MilpMatchesExhaustiveOptimum) {
+  Instance inst = table1_instance(8, 1, 5, 4, GetParam());
+  const double brute = brute_force_min_overflow(*inst.forest, inst.cap);
+  ASSERT_GE(brute, 0.0) << "instance unexpectedly too large for brute force";
+  MilpOptions opts;
+  opts.time_limit_seconds = 60.0;
+  const RoutingIlpResult r = solve_routing_ilp(*inst.forest, inst.cap, opts);
+  ASSERT_EQ(r.milp.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.overflow, brute, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingIlpVsBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(BruteForce, RejectsHugeInstances) {
+  Instance inst = table1_instance(20, 1, 40, 6, 9);
+  EXPECT_LT(brute_force_min_overflow(*inst.forest, inst.cap, 1000), 0.0);
+}
+
+TEST(RoutingIlp, ZeroCongestionInstanceIsZeroOverflow) {
+  Instance inst = table1_instance(16, 8, 4, 6, 11);  // huge capacity
+  const RoutingIlpResult r = solve_routing_ilp(*inst.forest, inst.cap);
+  ASSERT_TRUE(r.milp.has_incumbent);
+  EXPECT_NEAR(r.overflow, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dgr::ilp

@@ -1,0 +1,208 @@
+// End-to-end integration tests: the full DGR pipeline against the exact ILP
+// oracle (the Table 1 claim at test scale), against the sequential baselines
+// on congested cases (the Table 2/3 claim in miniature), and through the
+// complete post-processing stack.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/solver.hpp"
+#include "design/generator.hpp"
+#include "design/io.hpp"
+#include "eval/metrics.hpp"
+#include "ilp/routing_ilp.hpp"
+#include "post/layer_assign.hpp"
+#include "post/maze_refine.hpp"
+#include "routers/cugr2lite.hpp"
+#include "util/log.hpp"
+
+namespace dgr {
+namespace {
+
+struct Table1Case {
+  std::unique_ptr<design::Design> design;
+  std::vector<float> cap;
+  std::unique_ptr<dag::DagForest> forest;
+};
+
+Table1Case make_case(int grid, int cap_val, int nets, int box, std::uint64_t seed) {
+  design::Table1Params params;
+  params.grid_w = params.grid_h = grid;
+  params.capacity = cap_val;
+  params.num_nets = nets;
+  params.box_size = box;
+  auto inst = design::make_table1_instance(params, seed);
+  Table1Case c;
+  c.design = std::make_unique<design::Design>(std::move(inst.design));
+  c.cap = std::move(inst.capacities);
+  dag::ForestOptions fopts;
+  fopts.tree.congestion_shifted = false;
+  fopts.via_demand_beta = 0.0f;
+  c.forest = std::make_unique<dag::DagForest>(dag::DagForest::build(*c.design, fopts));
+  return c;
+}
+
+/// DGR configured for the Table 1 protocol: ReLU overflow objective only,
+/// argmax extraction (top_p below any single probability).
+core::DgrConfig table1_config(int iters = 400) {
+  core::DgrConfig config;
+  config.activation = ad::Activation::kReLU;
+  config.weight_overflow = 1.0f;
+  config.weight_wirelength = 0.0f;  // all L candidates have equal WL anyway
+  config.weight_via = 0.0f;
+  config.iterations = iters;
+  config.temperature_interval = iters / 10;
+  return config;
+}
+
+class DgrMatchesIlp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DgrMatchesIlp, OnSmallTable1Instances) {
+  Table1Case c = make_case(12, 1, 10, 5, GetParam());
+  // Exact optimum.
+  ilp::MilpOptions mopts;
+  mopts.time_limit_seconds = 60.0;
+  const ilp::RoutingIlpResult ilp_result = ilp::solve_routing_ilp(*c.forest, c.cap, mopts);
+  ASSERT_EQ(ilp_result.milp.status, ilp::LpStatus::kOptimal);
+
+  // DGR.
+  core::DgrSolver solver(*c.forest, c.cap, table1_config());
+  solver.train();
+  const eval::RouteSolution sol = solver.extract();
+  EXPECT_TRUE(sol.connects_all_pins());
+  const double dgr_overflow = sol.demand(0.0f).total_overflow(c.cap);
+
+  // The paper's Table 1 shows DGR matching ILP on these instances; allow a
+  // whisker of slack for the stochastic optimiser at test iteration counts.
+  EXPECT_LE(dgr_overflow, ilp_result.overflow + 1.0)
+      << "seed " << GetParam() << ": DGR " << dgr_overflow << " vs ILP "
+      << ilp_result.overflow;
+  EXPECT_GE(dgr_overflow, ilp_result.overflow - 1e-9);  // ILP is a true lower bound
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DgrMatchesIlp, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Integration, DgrBeatsGreedyOnConflictLadder) {
+  // N nets stacked on the same diagonal with capacity N/2: any coordinated
+  // solver splits them evenly between the two L-shapes; an uncoordinated
+  // argmax-of-random would overflow. DGR must find (near-)zero overflow.
+  grid::GCellGrid grid = grid::GCellGrid::uniform(8, 8, 2, 3);
+  std::vector<design::Net> nets;
+  for (int i = 0; i < 6; ++i) {
+    nets.push_back({"n" + std::to_string(i), {{0, 0}, {7, 7}}});
+  }
+  auto d = std::make_unique<design::Design>("ladder", std::move(grid), std::move(nets));
+  std::vector<float> cap(static_cast<std::size_t>(d->grid().edge_count()), 3.0f);
+  dag::ForestOptions fopts;
+  fopts.tree.congestion_shifted = false;
+  fopts.via_demand_beta = 0.0f;
+  const dag::DagForest forest = dag::DagForest::build(*d, fopts);
+  core::DgrConfig config = table1_config(500);
+  core::DgrSolver solver(forest, cap, config);
+  solver.train();
+  const eval::RouteSolution sol = solver.extract();
+  EXPECT_DOUBLE_EQ(sol.demand(0.0f).total_overflow(cap), 0.0);
+}
+
+TEST(Integration, DgrCompetitiveWithCugr2LiteOnCongestedCase) {
+  design::IspdLikeParams p;
+  p.name = "mini_ispd19";
+  p.grid_w = p.grid_h = 24;
+  p.num_nets = 500;
+  p.layers = 5;
+  p.tracks_per_layer = 2;
+  p.hotspots = 2;
+  p.hotspot_affinity = 0.65;
+  const design::Design d = design::generate_ispd_like(p, 909);
+  const auto cap = d.capacities();
+
+  routers::Cugr2Lite baseline(d, cap);
+  const eval::Metrics mb = eval::compute_metrics(baseline.route(), cap);
+
+  const dag::DagForest forest = dag::DagForest::build(d, {});
+  core::DgrConfig config;
+  config.iterations = 300;
+  config.temperature_interval = 60;
+  core::DgrSolver solver(forest, cap, config);
+  solver.train();
+  eval::RouteSolution sol = solver.extract();
+  post::maze_refine(sol, cap);
+  const eval::Metrics md = eval::compute_metrics(sol, cap);
+
+  // The paper's headline: DGR mitigates overflow relative to CUGR2. At test
+  // scale we assert it is at least competitive (<= baseline + small slack).
+  EXPECT_LE(md.overflow_edges, mb.overflow_edges + 3)
+      << "DGR " << md.overflow_edges << " vs CUGR2-lite " << mb.overflow_edges;
+  EXPECT_TRUE(sol.connects_all_pins());
+}
+
+TEST(Integration, FullPipelineProducesThreeDMetrics) {
+  design::IspdLikeParams p;
+  p.num_nets = 200;
+  p.grid_w = p.grid_h = 20;
+  p.layers = 5;
+  const design::Design d = design::generate_ispd_like(p, 31);
+  const auto cap = d.capacities();
+  const dag::DagForest forest = dag::DagForest::build(d, {});
+  core::DgrConfig config;
+  config.iterations = 120;
+  config.temperature_interval = 30;
+  core::DgrSolver solver(forest, cap, config);
+  const core::TrainStats ts = solver.train();
+  EXPECT_GT(ts.tape_bytes, 0u);
+  eval::RouteSolution sol = solver.extract();
+  post::maze_refine(sol, cap);
+  const post::LayerAssignment la = post::assign_layers(sol, cap);
+  EXPECT_GT(la.via_count, 0);
+  const eval::Metrics m = eval::compute_metrics(sol, cap);
+  EXPECT_GT(m.wirelength, 0);
+  EXPECT_GE(eval::weighted_overflow(sol, cap), 0.0);
+}
+
+TEST(Integration, SavedDesignReproducesRoutingRun) {
+  design::IspdLikeParams p;
+  p.num_nets = 80;
+  p.grid_w = p.grid_h = 16;
+  const design::Design d = design::generate_ispd_like(p, 13);
+  std::stringstream ss;
+  design::write_design(ss, d);
+  const design::Design r = design::read_design(ss);
+
+  auto run = [](const design::Design& dd) {
+    const auto cap = dd.capacities();
+    const dag::DagForest forest = dag::DagForest::build(dd, {});
+    core::DgrConfig config;
+    config.iterations = 50;
+    core::DgrSolver solver(forest, cap, config);
+    solver.train();
+    const eval::RouteSolution sol = solver.extract();
+    return eval::compute_metrics(sol, cap);
+  };
+  const eval::Metrics a = run(d);
+  const eval::Metrics b = run(r);
+  EXPECT_EQ(a.wirelength, b.wirelength);
+  EXPECT_EQ(a.overflow_edges, b.overflow_edges);
+  EXPECT_EQ(a.bends, b.bends);
+}
+
+TEST(Integration, SeedSpreadIsTightOnTable1Protocol) {
+  // The paper reports DGR best == worst (to ~1e-5 relative) across 5 seeds on
+  // the easy synthetic rows; assert a small absolute spread at test scale.
+  Table1Case c = make_case(10, 2, 8, 4, 99);
+  std::vector<double> results;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    core::DgrConfig config = table1_config(300);
+    config.seed = seed;
+    core::DgrSolver solver(*c.forest, c.cap, config);
+    solver.train();
+    results.push_back(solver.extract().demand(0.0f).total_overflow(c.cap));
+  }
+  const double spread = *std::max_element(results.begin(), results.end()) -
+                        *std::min_element(results.begin(), results.end());
+  EXPECT_LE(spread, 1.0);
+}
+
+}  // namespace
+}  // namespace dgr

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "rsmt/builder.hpp"
+#include "rsmt/exact.hpp"
+#include "rsmt/one_steiner.hpp"
+#include "rsmt/salt.hpp"
+#include "rsmt/steiner_tree.hpp"
+#include "util/rng.hpp"
+
+namespace dgr::rsmt {
+namespace {
+
+using geom::Point;
+
+std::vector<Point> random_pins(util::Rng& rng, std::size_t count, int span) {
+  std::vector<Point> pins;
+  while (pins.size() < count) {
+    const Point p{static_cast<geom::Coord>(rng.uniform_int(0, span)),
+                  static_cast<geom::Coord>(rng.uniform_int(0, span))};
+    if (std::find(pins.begin(), pins.end(), p) == pins.end()) pins.push_back(p);
+  }
+  return pins;
+}
+
+// ---------------------------------------------------------------------------
+// Manhattan MST
+// ---------------------------------------------------------------------------
+
+TEST(Mst, TwoPinsIsDirectEdge) {
+  const SteinerTree t = manhattan_mst({{0, 0}, {3, 4}});
+  EXPECT_TRUE(t.is_spanning_tree());
+  EXPECT_EQ(t.length(), 7);
+  EXPECT_EQ(t.edges.size(), 1u);
+}
+
+TEST(Mst, SinglePinHasNoEdges) {
+  const SteinerTree t = manhattan_mst({{5, 5}});
+  EXPECT_TRUE(t.is_spanning_tree());
+  EXPECT_EQ(t.length(), 0);
+}
+
+TEST(Mst, CollinearPinsChain) {
+  const SteinerTree t = manhattan_mst({{0, 0}, {10, 0}, {4, 0}, {7, 0}});
+  EXPECT_TRUE(t.is_spanning_tree());
+  EXPECT_EQ(t.length(), 10);  // chain along the line
+}
+
+TEST(Mst, KnownSquareCost) {
+  // Unit square: MST = 3 edges of length 1... (Manhattan) corners:
+  const SteinerTree t = manhattan_mst({{0, 0}, {1, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(t.length(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// SteinerTree structure
+// ---------------------------------------------------------------------------
+
+TEST(SteinerTree, SpanningTreeDetectsCycle) {
+  SteinerTree t;
+  t.nodes = {{0, 0}, {1, 0}, {1, 1}};
+  t.pin_count = 3;
+  t.edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_FALSE(t.is_spanning_tree());
+}
+
+TEST(SteinerTree, SpanningTreeDetectsDisconnection) {
+  SteinerTree t;
+  t.nodes = {{0, 0}, {1, 0}, {5, 5}, {6, 5}};
+  t.pin_count = 4;
+  t.edges = {{0, 1}, {2, 3}};
+  EXPECT_FALSE(t.is_spanning_tree());  // |E| != |V|-1
+}
+
+TEST(SteinerTree, CanonicalEdgesIgnoreOrientationAndOrder) {
+  SteinerTree a, b;
+  a.nodes = {{0, 0}, {2, 0}, {2, 2}};
+  a.pin_count = 3;
+  a.edges = {{0, 1}, {1, 2}};
+  b.nodes = {{2, 2}, {2, 0}, {0, 0}};
+  b.pin_count = 3;
+  b.edges = {{1, 0}, {2, 1}};
+  EXPECT_EQ(a.canonical_edges(), b.canonical_edges());
+}
+
+TEST(SteinerTree, SimplifyRemovesSteinerLeaf) {
+  SteinerTree t;
+  t.nodes = {{0, 0}, {4, 0}, {2, 0}, {2, 3}};  // last two are Steiner
+  t.pin_count = 2;
+  t.edges = {{0, 2}, {2, 1}, {2, 3}};  // (2,3) dangles
+  t.simplify();
+  EXPECT_TRUE(t.is_spanning_tree());
+  EXPECT_EQ(t.length(), 4);
+  EXPECT_EQ(t.nodes.size(), 2u);  // collinear degree-2 Steiner also spliced
+}
+
+TEST(SteinerTree, SimplifyKeepsBendSteinerNode) {
+  SteinerTree t;
+  t.nodes = {{0, 0}, {4, 3}, {4, 0}};  // Steiner at the corner
+  t.pin_count = 2;
+  t.edges = {{0, 2}, {2, 1}};
+  const std::int64_t len = t.length();
+  t.simplify();
+  // (4,0) is on a shortest path 0->1, so splicing is allowed and lossless...
+  EXPECT_EQ(t.length(), len);
+  EXPECT_TRUE(t.is_spanning_tree());
+}
+
+TEST(SteinerTree, SimplifyKeepsNonShortestBend) {
+  SteinerTree t;
+  t.nodes = {{0, 0}, {4, 0}, {2, 3}};  // detour bend above the line
+  t.pin_count = 2;
+  t.edges = {{0, 2}, {2, 1}};
+  t.simplify();
+  // Splicing would shorten the tree (change geometry) -> must keep the node.
+  EXPECT_EQ(t.nodes.size(), 3u);
+  EXPECT_EQ(t.length(), 10);
+}
+
+TEST(SteinerTree, SimplifyMergesCoincidentNodes) {
+  SteinerTree t;
+  t.nodes = {{0, 0}, {3, 0}, {3, 0}};  // Steiner node on top of pin 1
+  t.pin_count = 2;
+  t.edges = {{0, 2}, {2, 1}};
+  t.simplify();
+  EXPECT_TRUE(t.is_spanning_tree());
+  EXPECT_EQ(t.nodes.size(), 2u);
+  EXPECT_EQ(t.length(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Exact RSMT
+// ---------------------------------------------------------------------------
+
+TEST(ExactRsmt, ThreePinLShape) {
+  // Median point (1,1)... pins forming an L: Steiner point saves nothing.
+  const SteinerTree t = exact_rsmt({{0, 0}, {0, 2}, {2, 0}});
+  EXPECT_TRUE(t.is_spanning_tree());
+  EXPECT_EQ(t.length(), 4);
+}
+
+TEST(ExactRsmt, ThreePinSteinerSaves) {
+  // Classic Y: pins (0,0), (4,0), (2,3); Steiner at (2,0) gives 4+3=7.
+  const SteinerTree t = exact_rsmt({{0, 0}, {4, 0}, {2, 3}});
+  EXPECT_EQ(t.length(), 7);
+  // MST would be 7+... check it is at most MST.
+  EXPECT_LE(t.length(), manhattan_mst_length({{0, 0}, {4, 0}, {2, 3}}));
+}
+
+TEST(ExactRsmt, FourPinCross) {
+  // Pins at the 4 arms of a cross; optimal joins through the centre: len 8.
+  const SteinerTree t = exact_rsmt({{2, 0}, {2, 4}, {0, 2}, {4, 2}});
+  EXPECT_EQ(t.length(), 8);
+  EXPECT_LT(t.length(), manhattan_mst_length({{2, 0}, {2, 4}, {0, 2}, {4, 2}}));
+}
+
+TEST(ExactRsmt, FourPinSquareNeedsTwoSteiner) {
+  // 2x2 square corners: RSMT length 6 (an 'H'), MST length 6 too (Manhattan).
+  const SteinerTree t = exact_rsmt({{0, 0}, {2, 0}, {0, 2}, {2, 2}});
+  EXPECT_EQ(t.length(), 6);
+}
+
+TEST(ExactRsmt, MatchesHpwlForTwoPins) {
+  const SteinerTree t = exact_rsmt({{1, 1}, {6, 4}});
+  EXPECT_EQ(t.length(), 8);
+}
+
+TEST(ExactRsmt, RejectsTooManyPins) {
+  std::vector<Point> pins;
+  for (int i = 0; i < 7; ++i) pins.push_back({static_cast<geom::Coord>(i), 0});
+  EXPECT_THROW(exact_rsmt(pins), std::invalid_argument);
+}
+
+class ExactRsmtRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactRsmtRandom, BoundsHold) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const std::vector<Point> pins = random_pins(rng, n, 12);
+    const SteinerTree t = exact_rsmt(pins);
+    EXPECT_TRUE(t.is_spanning_tree());
+    const auto hpwl = geom::Rect::bounding_box(pins).hpwl();
+    EXPECT_GE(t.length(), hpwl);
+    EXPECT_LE(t.length(), manhattan_mst_length(pins));
+    // Every pin present among nodes.
+    for (const Point& pin : pins) {
+      EXPECT_NE(std::find(t.nodes.begin(), t.nodes.end(), pin), t.nodes.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactRsmtRandom, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Iterated 1-Steiner
+// ---------------------------------------------------------------------------
+
+TEST(OneSteiner, NeverWorseThanMst) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::vector<Point> pins =
+        random_pins(rng, 4 + static_cast<std::size_t>(rng.uniform_int(0, 8)), 30);
+    const SteinerTree t = iterated_one_steiner(pins);
+    EXPECT_TRUE(t.is_spanning_tree());
+    EXPECT_LE(t.length(), manhattan_mst_length(pins));
+    EXPECT_GE(t.length(), geom::Rect::bounding_box(pins).hpwl());
+  }
+}
+
+TEST(OneSteiner, FindsTheCrossSteinerPoint) {
+  const SteinerTree t = iterated_one_steiner({{2, 0}, {2, 4}, {0, 2}, {4, 2}});
+  EXPECT_EQ(t.length(), 8);
+}
+
+class OneSteinerVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OneSteinerVsExact, CloseToOptimal) {
+  util::Rng rng(GetParam() * 1000 + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<Point> pins =
+        random_pins(rng, 4 + static_cast<std::size_t>(rng.uniform_int(0, 1)), 10);
+    const std::int64_t opt = exact_rsmt_length(pins);
+    const std::int64_t heur = iterated_one_steiner(pins).length();
+    EXPECT_GE(heur, opt);
+    // Kahng-Robins is within a few percent of optimum; on these tiny nets it
+    // should be within 10%.
+    EXPECT_LE(static_cast<double>(heur), 1.10 * static_cast<double>(opt) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneSteinerVsExact, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// RsmtBuilder dispatch (FLUTE stand-in)
+// ---------------------------------------------------------------------------
+
+TEST(Builder, HandlesDuplicatesAndSingletons) {
+  RsmtBuilder builder;
+  const SteinerTree t1 = builder.build({{3, 3}, {3, 3}});
+  EXPECT_TRUE(t1.is_spanning_tree());
+  EXPECT_EQ(t1.length(), 0);
+  const SteinerTree t2 = builder.build({{3, 3}});
+  EXPECT_EQ(t2.node_count(), 1u);
+}
+
+class BuilderSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BuilderSweep, ValidTreeWithBounds) {
+  const std::size_t pins_count = GetParam();
+  util::Rng rng(pins_count * 31 + 7);
+  RsmtBuilder builder;
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::vector<Point> pins = random_pins(rng, pins_count, 60);
+    const SteinerTree t = builder.build(pins);
+    EXPECT_TRUE(t.is_spanning_tree()) << "pins=" << pins_count;
+    EXPECT_EQ(t.pin_count, pins.size());
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      EXPECT_EQ(t.nodes[i], pins[i]);  // pins first, in input order
+    }
+    EXPECT_GE(t.length(), geom::Rect::bounding_box(pins).hpwl());
+    // Partitioned builds may slightly exceed the global MST bound on the
+    // largest nets; allow 15% headroom there, exact bound for small.
+    const double mst = static_cast<double>(manhattan_mst_length(pins));
+    const double slack = pins_count <= 16 ? 1.0 : 1.15;
+    EXPECT_LE(static_cast<double>(t.length()), mst * slack);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PinCounts, BuilderSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 12, 16, 24, 40, 80));
+
+
+// ---------------------------------------------------------------------------
+// SALT-lite shallow-light trees
+// ---------------------------------------------------------------------------
+
+TEST(Salt, RejectsBadArguments) {
+  EXPECT_THROW(salt_tree({{0, 0}, {1, 1}}, {0.0, 0}), std::invalid_argument);
+  EXPECT_THROW(salt_tree({{0, 0}, {1, 1}}, {1.0, 5}), std::invalid_argument);
+}
+
+TEST(Salt, TinyEpsilonApproachesStar) {
+  // A long chain: MST is the chain (source-to-far-end path = full length);
+  // epsilon ~ 0 forces shortcuts from the source.
+  std::vector<Point> pins;
+  for (int i = 0; i < 8; ++i) pins.push_back({static_cast<geom::Coord>(3 * i), 0});
+  const SteinerTree t = salt_tree(pins, {0.01, 0});
+  EXPECT_TRUE(t.is_spanning_tree());
+  EXPECT_LE(radius_stretch(t, 0), 1.01 + 1e-9);
+}
+
+TEST(Salt, LargeEpsilonKeepsMst) {
+  std::vector<Point> pins{{0, 0}, {5, 1}, {9, 0}, {13, 2}};
+  const SteinerTree mst = manhattan_mst(pins);
+  const SteinerTree t = salt_tree(pins, {100.0, 0});
+  EXPECT_EQ(t.length(), mst.length());
+}
+
+class SaltSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SaltSweep, ShallownessBoundHolds) {
+  const double eps = GetParam();
+  util::Rng rng(std::hash<double>{}(eps));
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::vector<Point> pins = random_pins(rng, 10, 40);
+    const SteinerTree t = salt_tree(pins, {eps, 0});
+    EXPECT_TRUE(t.is_spanning_tree());
+    // KRY guarantee: every node within (1+eps) of its direct distance.
+    EXPECT_LE(radius_stretch(t, 0), 1.0 + eps + 1e-9) << "eps=" << eps;
+    // Lightness never below the MST (it IS a spanning tree over the pins).
+    EXPECT_GE(t.length(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, SaltSweep, ::testing::Values(0.1, 0.5, 1.0, 2.0));
+
+TEST(Salt, SmallerEpsilonNeverLongerRadius) {
+  util::Rng rng(99);
+  const std::vector<Point> pins = random_pins(rng, 12, 50);
+  const SteinerTree shallow = salt_tree(pins, {0.1, 0});
+  const SteinerTree light = salt_tree(pins, {3.0, 0});
+  EXPECT_LE(radius_stretch(shallow, 0), radius_stretch(light, 0) + 1e-9);
+  EXPECT_LE(light.length(), shallow.length());  // lightness trade-off
+}
+
+}  // namespace
+}  // namespace dgr::rsmt

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/memprobe.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace dgr::util {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBoundsAndCoverage) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, UniformIntApproximatelyUniform) {
+  Rng rng(21);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // within 10% of expectation
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(31);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GumbelMeanIsEulerMascheroni) {
+  Rng rng(37);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gumbel();
+  EXPECT_NEAR(sum / n, 0.5772, 0.02);
+}
+
+TEST(Rng, ForkStreamsAreDecorrelated) {
+  Rng parent(5);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 200; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(5), p2(5);
+  Rng a = p1.fork(99), b = p2.fork(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(41);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);  // same multiset
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); }, 64);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool ran = false;
+  parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, DeterministicAcrossWorkerCounts) {
+  // Each index owns its output slot -> result independent of thread count.
+  const std::size_t n = 50000;
+  auto run = [&](std::size_t workers) {
+    set_worker_count(workers);
+    std::vector<double> out(n);
+    parallel_for_blocked(0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) out[i] = std::sin(static_cast<double>(i));
+    });
+    set_worker_count(0);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+  EXPECT_EQ(run(2), run(8));
+}
+
+TEST(ParallelFor, BlockedChunksPartitionRange) {
+  std::atomic<std::size_t> total{0};
+  parallel_for_blocked(10, 1010, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(hi - lo);
+  }, 16);
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.millis(), 15.0);
+  EXPECT_LT(t.millis(), 5000.0);
+}
+
+TEST(StopWatch, AccumulatesWindows) {
+  StopWatch sw;
+  sw.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sw.stop();
+  const double first = sw.total_seconds();
+  EXPECT_GT(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_DOUBLE_EQ(sw.total_seconds(), first);  // stopped: no accumulation
+  sw.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sw.stop();
+  EXPECT_GT(sw.total_seconds(), first);
+}
+
+TEST(MemProbe, ReportsPlausibleRss) {
+  const std::size_t rss = current_rss_bytes();
+  const std::size_t peak = peak_rss_bytes();
+  EXPECT_GT(rss, 1024u * 1024u);  // a running process uses > 1 MiB
+  EXPECT_GE(peak, rss / 2);       // peak can't be (much) below current
+}
+
+TEST(Log, SilencerRestoresLevel) {
+  set_log_level(LogLevel::kWarn);
+  {
+    LogSilencer quiet;
+    EXPECT_EQ(log_level(), LogLevel::kOff);
+  }
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace dgr::util
