@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dgr.dir/ablation_dgr.cpp.o"
+  "CMakeFiles/bench_ablation_dgr.dir/ablation_dgr.cpp.o.d"
+  "bench_ablation_dgr"
+  "bench_ablation_dgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ilp.dir/table1_ilp.cpp.o"
+  "CMakeFiles/bench_table1_ilp.dir/table1_ilp.cpp.o.d"
+  "bench_table1_ilp"
+  "bench_table1_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ispd18.dir/table3_ispd18.cpp.o"
+  "CMakeFiles/bench_table3_ispd18.dir/table3_ispd18.cpp.o.d"
+  "bench_table3_ispd18"
+  "bench_table3_ispd18.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ispd18.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

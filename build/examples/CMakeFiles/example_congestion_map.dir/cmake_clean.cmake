@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_congestion_map.dir/congestion_map.cpp.o"
+  "CMakeFiles/example_congestion_map.dir/congestion_map.cpp.o.d"
+  "example_congestion_map"
+  "example_congestion_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_congestion_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_io_tool.dir/design_io_tool.cpp.o"
+  "CMakeFiles/example_design_io_tool.dir/design_io_tool.cpp.o.d"
+  "example_design_io_tool"
+  "example_design_io_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_io_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

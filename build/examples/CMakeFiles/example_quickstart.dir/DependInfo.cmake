@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_post.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_routers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_rsmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

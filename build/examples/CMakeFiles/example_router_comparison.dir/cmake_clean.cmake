@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_router_comparison.dir/router_comparison.cpp.o"
+  "CMakeFiles/example_router_comparison.dir/router_comparison.cpp.o.d"
+  "example_router_comparison"
+  "example_router_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_router_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ad/adam.cpp" "src/CMakeFiles/dgr_ad.dir/ad/adam.cpp.o" "gcc" "src/CMakeFiles/dgr_ad.dir/ad/adam.cpp.o.d"
+  "/root/repo/src/ad/gradcheck.cpp" "src/CMakeFiles/dgr_ad.dir/ad/gradcheck.cpp.o" "gcc" "src/CMakeFiles/dgr_ad.dir/ad/gradcheck.cpp.o.d"
+  "/root/repo/src/ad/ops.cpp" "src/CMakeFiles/dgr_ad.dir/ad/ops.cpp.o" "gcc" "src/CMakeFiles/dgr_ad.dir/ad/ops.cpp.o.d"
+  "/root/repo/src/ad/tape.cpp" "src/CMakeFiles/dgr_ad.dir/ad/tape.cpp.o" "gcc" "src/CMakeFiles/dgr_ad.dir/ad/tape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_ad.dir/ad/adam.cpp.o"
+  "CMakeFiles/dgr_ad.dir/ad/adam.cpp.o.d"
+  "CMakeFiles/dgr_ad.dir/ad/gradcheck.cpp.o"
+  "CMakeFiles/dgr_ad.dir/ad/gradcheck.cpp.o.d"
+  "CMakeFiles/dgr_ad.dir/ad/ops.cpp.o"
+  "CMakeFiles/dgr_ad.dir/ad/ops.cpp.o.d"
+  "CMakeFiles/dgr_ad.dir/ad/tape.cpp.o"
+  "CMakeFiles/dgr_ad.dir/ad/tape.cpp.o.d"
+  "libdgr_ad.a"
+  "libdgr_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_core.dir/core/config.cpp.o"
+  "CMakeFiles/dgr_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/dgr_core.dir/core/extract.cpp.o"
+  "CMakeFiles/dgr_core.dir/core/extract.cpp.o.d"
+  "CMakeFiles/dgr_core.dir/core/relaxation.cpp.o"
+  "CMakeFiles/dgr_core.dir/core/relaxation.cpp.o.d"
+  "CMakeFiles/dgr_core.dir/core/solver.cpp.o"
+  "CMakeFiles/dgr_core.dir/core/solver.cpp.o.d"
+  "libdgr_core.a"
+  "libdgr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_dag.dir/dag/forest.cpp.o"
+  "CMakeFiles/dgr_dag.dir/dag/forest.cpp.o.d"
+  "CMakeFiles/dgr_dag.dir/dag/path.cpp.o"
+  "CMakeFiles/dgr_dag.dir/dag/path.cpp.o.d"
+  "CMakeFiles/dgr_dag.dir/dag/tree_candidates.cpp.o"
+  "CMakeFiles/dgr_dag.dir/dag/tree_candidates.cpp.o.d"
+  "libdgr_dag.a"
+  "libdgr_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

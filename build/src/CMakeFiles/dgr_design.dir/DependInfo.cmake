@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/design/design.cpp" "src/CMakeFiles/dgr_design.dir/design/design.cpp.o" "gcc" "src/CMakeFiles/dgr_design.dir/design/design.cpp.o.d"
+  "/root/repo/src/design/generator.cpp" "src/CMakeFiles/dgr_design.dir/design/generator.cpp.o" "gcc" "src/CMakeFiles/dgr_design.dir/design/generator.cpp.o.d"
+  "/root/repo/src/design/io.cpp" "src/CMakeFiles/dgr_design.dir/design/io.cpp.o" "gcc" "src/CMakeFiles/dgr_design.dir/design/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

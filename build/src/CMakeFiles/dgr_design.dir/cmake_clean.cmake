@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_design.dir/design/design.cpp.o"
+  "CMakeFiles/dgr_design.dir/design/design.cpp.o.d"
+  "CMakeFiles/dgr_design.dir/design/generator.cpp.o"
+  "CMakeFiles/dgr_design.dir/design/generator.cpp.o.d"
+  "CMakeFiles/dgr_design.dir/design/io.cpp.o"
+  "CMakeFiles/dgr_design.dir/design/io.cpp.o.d"
+  "libdgr_design.a"
+  "libdgr_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/dgr_eval.dir/eval/metrics.cpp.o.d"
+  "CMakeFiles/dgr_eval.dir/eval/solution.cpp.o"
+  "CMakeFiles/dgr_eval.dir/eval/solution.cpp.o.d"
+  "CMakeFiles/dgr_eval.dir/eval/table.cpp.o"
+  "CMakeFiles/dgr_eval.dir/eval/table.cpp.o.d"
+  "libdgr_eval.a"
+  "libdgr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

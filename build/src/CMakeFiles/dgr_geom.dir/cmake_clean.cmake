@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_geom.dir/geom/geom.cpp.o"
+  "CMakeFiles/dgr_geom.dir/geom/geom.cpp.o.d"
+  "libdgr_geom.a"
+  "libdgr_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/demand_map.cpp" "src/CMakeFiles/dgr_grid.dir/grid/demand_map.cpp.o" "gcc" "src/CMakeFiles/dgr_grid.dir/grid/demand_map.cpp.o.d"
+  "/root/repo/src/grid/gcell_grid.cpp" "src/CMakeFiles/dgr_grid.dir/grid/gcell_grid.cpp.o" "gcc" "src/CMakeFiles/dgr_grid.dir/grid/gcell_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_grid.dir/grid/demand_map.cpp.o"
+  "CMakeFiles/dgr_grid.dir/grid/demand_map.cpp.o.d"
+  "CMakeFiles/dgr_grid.dir/grid/gcell_grid.cpp.o"
+  "CMakeFiles/dgr_grid.dir/grid/gcell_grid.cpp.o.d"
+  "libdgr_grid.a"
+  "libdgr_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

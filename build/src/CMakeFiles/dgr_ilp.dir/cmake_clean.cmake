@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_ilp.dir/ilp/branch_bound.cpp.o"
+  "CMakeFiles/dgr_ilp.dir/ilp/branch_bound.cpp.o.d"
+  "CMakeFiles/dgr_ilp.dir/ilp/routing_ilp.cpp.o"
+  "CMakeFiles/dgr_ilp.dir/ilp/routing_ilp.cpp.o.d"
+  "CMakeFiles/dgr_ilp.dir/ilp/simplex.cpp.o"
+  "CMakeFiles/dgr_ilp.dir/ilp/simplex.cpp.o.d"
+  "libdgr_ilp.a"
+  "libdgr_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dgr_ilp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_post.dir/post/guide.cpp.o"
+  "CMakeFiles/dgr_post.dir/post/guide.cpp.o.d"
+  "CMakeFiles/dgr_post.dir/post/layer_assign.cpp.o"
+  "CMakeFiles/dgr_post.dir/post/layer_assign.cpp.o.d"
+  "CMakeFiles/dgr_post.dir/post/maze_refine.cpp.o"
+  "CMakeFiles/dgr_post.dir/post/maze_refine.cpp.o.d"
+  "libdgr_post.a"
+  "libdgr_post.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

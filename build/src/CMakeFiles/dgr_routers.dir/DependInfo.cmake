@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routers/cugr2lite.cpp" "src/CMakeFiles/dgr_routers.dir/routers/cugr2lite.cpp.o" "gcc" "src/CMakeFiles/dgr_routers.dir/routers/cugr2lite.cpp.o.d"
+  "/root/repo/src/routers/lagrangian.cpp" "src/CMakeFiles/dgr_routers.dir/routers/lagrangian.cpp.o" "gcc" "src/CMakeFiles/dgr_routers.dir/routers/lagrangian.cpp.o.d"
+  "/root/repo/src/routers/maze.cpp" "src/CMakeFiles/dgr_routers.dir/routers/maze.cpp.o" "gcc" "src/CMakeFiles/dgr_routers.dir/routers/maze.cpp.o.d"
+  "/root/repo/src/routers/sproute_lite.cpp" "src/CMakeFiles/dgr_routers.dir/routers/sproute_lite.cpp.o" "gcc" "src/CMakeFiles/dgr_routers.dir/routers/sproute_lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgr_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_rsmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_routers.dir/routers/cugr2lite.cpp.o"
+  "CMakeFiles/dgr_routers.dir/routers/cugr2lite.cpp.o.d"
+  "CMakeFiles/dgr_routers.dir/routers/lagrangian.cpp.o"
+  "CMakeFiles/dgr_routers.dir/routers/lagrangian.cpp.o.d"
+  "CMakeFiles/dgr_routers.dir/routers/maze.cpp.o"
+  "CMakeFiles/dgr_routers.dir/routers/maze.cpp.o.d"
+  "CMakeFiles/dgr_routers.dir/routers/sproute_lite.cpp.o"
+  "CMakeFiles/dgr_routers.dir/routers/sproute_lite.cpp.o.d"
+  "libdgr_routers.a"
+  "libdgr_routers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_routers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsmt/builder.cpp" "src/CMakeFiles/dgr_rsmt.dir/rsmt/builder.cpp.o" "gcc" "src/CMakeFiles/dgr_rsmt.dir/rsmt/builder.cpp.o.d"
+  "/root/repo/src/rsmt/exact.cpp" "src/CMakeFiles/dgr_rsmt.dir/rsmt/exact.cpp.o" "gcc" "src/CMakeFiles/dgr_rsmt.dir/rsmt/exact.cpp.o.d"
+  "/root/repo/src/rsmt/one_steiner.cpp" "src/CMakeFiles/dgr_rsmt.dir/rsmt/one_steiner.cpp.o" "gcc" "src/CMakeFiles/dgr_rsmt.dir/rsmt/one_steiner.cpp.o.d"
+  "/root/repo/src/rsmt/salt.cpp" "src/CMakeFiles/dgr_rsmt.dir/rsmt/salt.cpp.o" "gcc" "src/CMakeFiles/dgr_rsmt.dir/rsmt/salt.cpp.o.d"
+  "/root/repo/src/rsmt/steiner_tree.cpp" "src/CMakeFiles/dgr_rsmt.dir/rsmt/steiner_tree.cpp.o" "gcc" "src/CMakeFiles/dgr_rsmt.dir/rsmt/steiner_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgr_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dgr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

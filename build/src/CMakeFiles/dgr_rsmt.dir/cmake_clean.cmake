@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_rsmt.dir/rsmt/builder.cpp.o"
+  "CMakeFiles/dgr_rsmt.dir/rsmt/builder.cpp.o.d"
+  "CMakeFiles/dgr_rsmt.dir/rsmt/exact.cpp.o"
+  "CMakeFiles/dgr_rsmt.dir/rsmt/exact.cpp.o.d"
+  "CMakeFiles/dgr_rsmt.dir/rsmt/one_steiner.cpp.o"
+  "CMakeFiles/dgr_rsmt.dir/rsmt/one_steiner.cpp.o.d"
+  "CMakeFiles/dgr_rsmt.dir/rsmt/salt.cpp.o"
+  "CMakeFiles/dgr_rsmt.dir/rsmt/salt.cpp.o.d"
+  "CMakeFiles/dgr_rsmt.dir/rsmt/steiner_tree.cpp.o"
+  "CMakeFiles/dgr_rsmt.dir/rsmt/steiner_tree.cpp.o.d"
+  "libdgr_rsmt.a"
+  "libdgr_rsmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_rsmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgr_util.dir/util/log.cpp.o"
+  "CMakeFiles/dgr_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/dgr_util.dir/util/memprobe.cpp.o"
+  "CMakeFiles/dgr_util.dir/util/memprobe.cpp.o.d"
+  "CMakeFiles/dgr_util.dir/util/parallel.cpp.o"
+  "CMakeFiles/dgr_util.dir/util/parallel.cpp.o.d"
+  "CMakeFiles/dgr_util.dir/util/rng.cpp.o"
+  "CMakeFiles/dgr_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/dgr_util.dir/util/timer.cpp.o"
+  "CMakeFiles/dgr_util.dir/util/timer.cpp.o.d"
+  "libdgr_util.a"
+  "libdgr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_test.dir/ad_test.cpp.o"
+  "CMakeFiles/ad_test.dir/ad_test.cpp.o.d"
+  "ad_test"
+  "ad_test.pdb"
+  "ad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

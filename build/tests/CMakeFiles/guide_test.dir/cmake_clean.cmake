@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guide_test.dir/guide_test.cpp.o"
+  "CMakeFiles/guide_test.dir/guide_test.cpp.o.d"
+  "guide_test"
+  "guide_test.pdb"
+  "guide_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/post_test.dir/post_test.cpp.o"
+  "CMakeFiles/post_test.dir/post_test.cpp.o.d"
+  "post_test"
+  "post_test.pdb"
+  "post_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/post_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

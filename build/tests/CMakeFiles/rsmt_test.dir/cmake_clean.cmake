@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsmt_test.dir/rsmt_test.cpp.o"
+  "CMakeFiles/rsmt_test.dir/rsmt_test.cpp.o.d"
+  "rsmt_test"
+  "rsmt_test.pdb"
+  "rsmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

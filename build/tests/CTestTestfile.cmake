@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_test[1]_include.cmake")
+include("/root/repo/build/tests/design_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/rsmt_test[1]_include.cmake")
+include("/root/repo/build/tests/dag_test[1]_include.cmake")
+include("/root/repo/build/tests/ad_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/ilp_test[1]_include.cmake")
+include("/root/repo/build/tests/routers_test[1]_include.cmake")
+include("/root/repo/build/tests/post_test[1]_include.cmake")
+include("/root/repo/build/tests/guide_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
