@@ -1,12 +1,18 @@
 // Micro-benchmarks (google-benchmark) of the ad:: kernels and of a full DGR
 // training iteration — the per-iteration cost that Figure 5a's runtime curve
-// is built from.
+// is built from. The custom main() additionally emits BENCH_micro_kernels.json
+// (benchmark name -> ns/iter, plus the fused-vs-unfused iteration speedup per
+// worker count) into the working directory.
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
-
+#include <fstream>
 #include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "dgr/dgr.hpp"
 
@@ -42,7 +48,7 @@ struct SolverFixture {
   std::unique_ptr<dag::DagForest> forest;
   std::unique_ptr<core::DgrSolver> solver;
 
-  explicit SolverFixture(int nets) {
+  explicit SolverFixture(int nets, core::DgrConfig cfg = {}) {
     util::LogSilencer quiet;
     design::IspdLikeParams p;
     p.num_nets = nets;
@@ -52,7 +58,7 @@ struct SolverFixture {
     design = std::make_unique<design::Design>(design::generate_ispd_like(p, 9090));
     cap = design->capacities();
     forest = std::make_unique<dag::DagForest>(dag::DagForest::build(*design, {}));
-    solver = std::make_unique<core::DgrSolver>(*forest, cap, core::DgrConfig{});
+    solver = std::make_unique<core::DgrSolver>(*forest, cap, cfg);
   }
 };
 
@@ -67,6 +73,108 @@ void BM_DgrTrainStep(benchmark::State& state) {
   state.counters["paths"] = static_cast<double>(fx.forest->paths().size());
 }
 BENCHMARK(BM_DgrTrainStep)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+/// Fused vs unfused selection+demand kernel (softmax -> coupling -> scatter)
+/// on the real relaxation structure of an ispd-like design, forward+backward.
+/// Args: {nets, workers, fused}.
+void BM_SelectionDemandKernel(benchmark::State& state) {
+  const auto nets = static_cast<int>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  const bool fused = state.range(2) != 0;
+  SolverFixture fx(nets);
+  util::set_worker_count(workers);
+  const core::Relaxation& r = fx.solver->relaxation();
+  const std::vector<float>& params = fx.solver->logits();
+  const std::size_t np = r.path_count();
+  for (auto _ : state) {
+    ad::Tape tape;
+    const ad::NodeId pl = tape.input(params.data(), np);
+    const ad::NodeId tl = tape.input(params.data() + np, r.tree_count());
+    ad::NodeId eff, demand;
+    if (fused) {
+      const ad::FusedSelectionDemand sel = ad::fused_softmax_demand(
+          tape, pl, tl, r.path_group_offsets, r.tree_group_offsets, r.path_tree,
+          r.tree_path_offsets, r.incidence, 1.0f, nullptr, nullptr);
+      eff = sel.eff;
+      demand = sel.demand;
+    } else {
+      const ad::NodeId p = ad::segment_softmax(tape, pl, r.path_group_offsets, 1.0f);
+      const ad::NodeId q = ad::segment_softmax(tape, tl, r.tree_group_offsets, 1.0f);
+      eff = ad::gather_mul(tape, q, r.path_tree, p);
+      demand = ad::spmv(tape, eff, r.incidence);
+    }
+    tape.backward(ad::combine(tape,
+                              {ad::weighted_sum(tape, demand), ad::weighted_sum(tape, eff)},
+                              {1.0f, 1.0f}));
+  }
+  util::set_worker_count(0);
+  state.counters["paths"] = static_cast<double>(np);
+}
+BENCHMARK(BM_SelectionDemandKernel)
+    ->Args({2000, 1, 0})
+    ->Args({2000, 1, 1})
+    ->Args({2000, 4, 0})
+    ->Args({2000, 4, 1});
+
+/// Fused vs unfused overflow cost (subtract capacity -> activation -> sum),
+/// forward+backward. Args: {n, workers, fused}.
+void BM_OverflowKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  const bool fused = state.range(2) != 0;
+  util::Rng rng(3);
+  const std::vector<float> x0 = randu(rng, n);
+  const std::vector<float> cap(n, 0.1f);
+  util::set_worker_count(workers);
+  for (auto _ : state) {
+    ad::Tape tape;
+    const ad::NodeId x = tape.input(x0);
+    const ad::NodeId cost =
+        fused ? ad::fused_overflow_cost(tape, x, cap, ad::Activation::kSigmoid)
+              : ad::weighted_sum(
+                    tape, ad::apply_activation(tape, ad::sub_const(tape, x, cap),
+                                               ad::Activation::kSigmoid));
+    tape.backward(cost);
+  }
+  util::set_worker_count(0);
+}
+BENCHMARK(BM_OverflowKernel)
+    ->Args({1 << 14, 1, 0})
+    ->Args({1 << 14, 1, 1})
+    ->Args({1 << 14, 4, 0})
+    ->Args({1 << 14, 4, 1})
+    ->Args({1 << 16, 4, 0})
+    ->Args({1 << 16, 4, 1});
+
+/// Fused vs unfused full training iteration at a given worker count.
+/// Args: {nets, workers, fused}. The unfused graph submits ~13 pool jobs per
+/// iteration; the fused one submits 2 multi-stage jobs, so the gap measures
+/// wakeup + tape-node overhead rather than arithmetic.
+void BM_DgrTrainStepFusion(benchmark::State& state) {
+  const auto nets = static_cast<int>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  const bool fused = state.range(2) != 0;
+  util::set_worker_count(workers);
+  core::DgrConfig cfg;
+  cfg.fused_kernels = fused;
+  cfg.use_gumbel = false;  // noise generation is identical constant work in
+                           // both modes; omit it to isolate the kernels
+  SolverFixture fx(nets, cfg);
+  int iteration = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.solver->train_step(iteration++));
+  }
+  util::set_worker_count(0);
+  state.counters["paths"] = static_cast<double>(fx.forest->paths().size());
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["fused"] = fused ? 1.0 : 0.0;
+}
+BENCHMARK(BM_DgrTrainStepFusion)
+    ->Args({2000, 1, 0})
+    ->Args({2000, 1, 1})
+    ->Args({2000, 4, 0})
+    ->Args({2000, 4, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ForestBuild(benchmark::State& state) {
   util::LogSilencer quiet;
@@ -105,6 +213,89 @@ void BM_RsmtBuilder(benchmark::State& state) {
 }
 BENCHMARK(BM_RsmtBuilder)->Arg(3)->Arg(8)->Arg(16)->Arg(64);
 
+/// Console reporter that also captures (name, ns/iter) for every completed
+/// iteration run so main() can dump them as JSON.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const double ns =
+          run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9;
+      if (run.run_type == Run::RT_Iteration) {
+        set(run.benchmark_name(), ns, /*from_median=*/false);
+      } else if (run.aggregate_name == "median") {
+        // "<name>_median" -> "<name>"; medians override per-repetition noise.
+        std::string name = run.benchmark_name();
+        const std::string suffix = "_median";
+        if (name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+          name.resize(name.size() - suffix.size());
+        }
+        set(name, ns, /*from_median=*/true);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<std::pair<std::string, double>>& results() const { return results_; }
+
+ private:
+  void set(const std::string& name, double ns, bool from_median) {
+    for (auto& [n, v] : results_) {
+      if (n == name) {
+        if (from_median) v = ns;
+        return;
+      }
+    }
+    results_.emplace_back(name, ns);
+  }
+
+  std::vector<std::pair<std::string, double>> results_;
+};
+
+double find_ns(const std::vector<std::pair<std::string, double>>& results,
+               const std::string& name) {
+  for (const auto& [n, ns] : results) {
+    if (n == name) return ns;
+  }
+  return 0.0;
+}
+
+void write_json(const std::vector<std::pair<std::string, double>>& results,
+                const char* path) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "{\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n  \"benchmarks\": {\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << "    \"" << results[i].first << "\": " << results[i].second
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  },\n  \"fused_speedup\": {\n";
+  // For every benchmark whose last argument is the fused flag, report
+  // unfused ns / fused ns under the name with the flag stripped.
+  bool first = true;
+  for (const auto& [name, unfused_ns] : results) {
+    if (name.size() < 2 || name.compare(name.size() - 2, 2, "/0") != 0) continue;
+    const std::string base = name.substr(0, name.size() - 2);
+    const double fused_ns = find_ns(results, base + "/1");
+    if (fused_ns <= 0.0) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "    \"" << base << "\": " << unfused_ns / fused_ns;
+  }
+  out << "\n  }\n}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_json(reporter.results(), "BENCH_micro_kernels.json");
+  benchmark::Shutdown();
+  return 0;
+}

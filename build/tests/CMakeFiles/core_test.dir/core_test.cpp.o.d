@@ -329,4 +329,4 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /root/repo/src/rsmt/salt.hpp /root/repo/src/eval/solution.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/design/generator.hpp \
  /root/repo/src/eval/metrics.hpp /root/repo/src/util/log.hpp \
- /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/cstdarg /root/repo/src/util/parallel.hpp

@@ -17,7 +17,7 @@ void Adam::step(std::vector<float>& params, const std::vector<double>& grads) {
   ++t_;
   const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
-  util::parallel_for_blocked(
+  util::ParallelRuntime::for_blocked(
       0, params.size(),
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {

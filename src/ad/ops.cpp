@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "util/parallel.hpp"
@@ -11,6 +12,70 @@ namespace dgr::ad {
 namespace {
 
 constexpr std::size_t kParGrain = 2048;
+
+float act_forward(Activation act, float alpha, float v) {
+  switch (act) {
+    case Activation::kReLU:
+      return v > 0.0f ? v : 0.0f;
+    case Activation::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-v));
+    case Activation::kLeakyReLU:
+      return v > 0.0f ? v : alpha * 0.01f * v;
+    case Activation::kExp:
+      return std::exp(std::min(v, 30.0f));
+    case Activation::kCELU:
+      return v > 0.0f ? v : alpha * (std::exp(std::min(v, 30.0f) / alpha) - 1.0f);
+  }
+  return 0.0f;
+}
+
+// Derivative expressed from input v and output y (cheap for sigmoid/exp).
+double act_derivative(Activation act, float alpha, float v, float y) {
+  switch (act) {
+    case Activation::kReLU:
+      return v > 0.0f ? 1.0 : 0.0;
+    case Activation::kSigmoid:
+      return static_cast<double>(y) * (1.0 - y);
+    case Activation::kLeakyReLU:
+      return v > 0.0f ? 1.0 : alpha * 0.01;
+    case Activation::kExp:
+      return v < 30.0f ? static_cast<double>(y) : 0.0;
+    case Activation::kCELU:
+      return v > 0.0f ? 1.0 : std::exp(std::min(v, 30.0f) / alpha);
+  }
+  return 0.0;
+}
+
+/// Softmax over one group [lo, hi) of (x + noise)/t into y. Identical
+/// arithmetic to segment_softmax's per-group loop (bitwise-matching values).
+void softmax_group(const float* x, const float* noise, float* y, std::size_t lo,
+                   std::size_t hi, float temperature) {
+  if (lo == hi) return;
+  float mx = -1e30f;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const float logit = (x[i] + (noise != nullptr ? noise[i] : 0.0f)) / temperature;
+    y[i] = logit;  // stage logits in the output buffer
+    mx = std::max(mx, logit);
+  }
+  double denom = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const float e = std::exp(y[i] - mx);
+    y[i] = e;
+    denom += e;
+  }
+  const float inv = static_cast<float>(1.0 / denom);
+  for (std::size_t i = lo; i < hi; ++i) y[i] *= inv;
+}
+
+/// Softmax backward for one group: gx_k += y_k/t * (gy_k - Σ_j gy_j y_j).
+void softmax_group_backward(const float* y, const double* gy, double* gx,
+                            std::size_t lo, std::size_t hi, float temperature) {
+  if (lo == hi) return;
+  double dot = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) dot += gy[i] * y[i];
+  const double inv_t = 1.0 / temperature;
+  for (std::size_t i = lo; i < hi; ++i) gx[i] += y[i] * inv_t * (gy[i] - dot);
+}
 
 }  // namespace
 
@@ -28,51 +93,29 @@ NodeId segment_softmax(Tape& tape, NodeId x, const std::vector<std::int32_t>& of
 
   NodeId out = tape.make_node(n);
   {
-    const std::vector<float>& xv = tape.value(x);
-    std::vector<float>& yv = tape.mutable_value(out);
+    const float* xv = tape.value(x).data();
+    const float* nz = noise != nullptr ? noise->data() : nullptr;
+    float* yv = tape.mutable_value(out).data();
     const std::size_t groups = offsets.size() - 1;
     util::parallel_for(
         0, groups,
         [&](std::size_t g) {
-          const auto lo = static_cast<std::size_t>(offsets[g]);
-          const auto hi = static_cast<std::size_t>(offsets[g + 1]);
-          if (lo == hi) return;
-          float mx = -1e30f;
-          for (std::size_t i = lo; i < hi; ++i) {
-            const float logit = (xv[i] + (noise != nullptr ? (*noise)[i] : 0.0f)) / temperature;
-            yv[i] = logit;  // stage logits in the output buffer
-            mx = std::max(mx, logit);
-          }
-          double denom = 0.0;
-          for (std::size_t i = lo; i < hi; ++i) {
-            const float e = std::exp(yv[i] - mx);
-            yv[i] = e;
-            denom += e;
-          }
-          const float inv = static_cast<float>(1.0 / denom);
-          for (std::size_t i = lo; i < hi; ++i) yv[i] *= inv;
+          softmax_group(xv, nz, yv, static_cast<std::size_t>(offsets[g]),
+                        static_cast<std::size_t>(offsets[g + 1]), temperature);
         },
         /*grain=*/256);
   }
 
   tape.record([&tape, x, out, &offsets, temperature] {
-    const std::vector<float>& yv = tape.value(out);
-    const std::vector<double>& gy = tape.grad(out);
-    std::vector<double>& gx = tape.mutable_grad(x);
+    const float* yv = tape.value(out).data();
+    const double* gy = tape.grad(out).data();
+    double* gx = tape.mutable_grad(x).data();
     const std::size_t groups = offsets.size() - 1;
     util::parallel_for(
         0, groups,
         [&](std::size_t g) {
-          const auto lo = static_cast<std::size_t>(offsets[g]);
-          const auto hi = static_cast<std::size_t>(offsets[g + 1]);
-          if (lo == hi) return;
-          // d x_k = y_k/t * (g_k - Σ_j g_j y_j)
-          double dot = 0.0;
-          for (std::size_t i = lo; i < hi; ++i) dot += gy[i] * yv[i];
-          const double inv_t = 1.0 / temperature;
-          for (std::size_t i = lo; i < hi; ++i) {
-            gx[i] += yv[i] * inv_t * (gy[i] - dot);
-          }
+          softmax_group_backward(yv, gy, gx, static_cast<std::size_t>(offsets[g]),
+                                 static_cast<std::size_t>(offsets[g + 1]), temperature);
         },
         /*grain=*/256);
   });
@@ -218,49 +261,17 @@ NodeId apply_activation(Tape& tape, NodeId x, Activation act, float alpha) {
   const std::size_t n = tape.size(x);
   NodeId out = tape.make_node(n);
 
-  auto fwd = [act, alpha](float v) -> float {
-    switch (act) {
-      case Activation::kReLU:
-        return v > 0.0f ? v : 0.0f;
-      case Activation::kSigmoid:
-        return 1.0f / (1.0f + std::exp(-v));
-      case Activation::kLeakyReLU:
-        return v > 0.0f ? v : alpha * 0.01f * v;
-      case Activation::kExp:
-        return std::exp(std::min(v, 30.0f));
-      case Activation::kCELU:
-        return v > 0.0f ? v : alpha * (std::exp(std::min(v, 30.0f) / alpha) - 1.0f);
-    }
-    return 0.0f;
-  };
-  // Derivative expressed from input v and output y (cheap for sigmoid/exp).
-  auto deriv = [act, alpha](float v, float y) -> double {
-    switch (act) {
-      case Activation::kReLU:
-        return v > 0.0f ? 1.0 : 0.0;
-      case Activation::kSigmoid:
-        return static_cast<double>(y) * (1.0 - y);
-      case Activation::kLeakyReLU:
-        return v > 0.0f ? 1.0 : alpha * 0.01;
-      case Activation::kExp:
-        return v < 30.0f ? static_cast<double>(y) : 0.0;
-      case Activation::kCELU:
-        return v > 0.0f ? 1.0 : std::exp(std::min(v, 30.0f) / alpha);
-    }
-    return 0.0;
-  };
-
   {
     const std::vector<float>& xv = tape.value(x);
     std::vector<float>& yv = tape.mutable_value(out);
     util::parallel_for_blocked(
         0, n,
         [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t i = lo; i < hi; ++i) yv[i] = fwd(xv[i]);
+          for (std::size_t i = lo; i < hi; ++i) yv[i] = act_forward(act, alpha, xv[i]);
         },
         kParGrain);
   }
-  tape.record([&tape, x, out, n, deriv] {
+  tape.record([&tape, x, out, n, act, alpha] {
     const std::vector<float>& xv = tape.value(x);
     const std::vector<float>& yv = tape.value(out);
     const std::vector<double>& gy = tape.grad(out);
@@ -268,7 +279,9 @@ NodeId apply_activation(Tape& tape, NodeId x, Activation act, float alpha) {
     util::parallel_for_blocked(
         0, n,
         [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t i = lo; i < hi; ++i) gx[i] += gy[i] * deriv(xv[i], yv[i]);
+          for (std::size_t i = lo; i < hi; ++i) {
+            gx[i] += gy[i] * act_derivative(act, alpha, xv[i], yv[i]);
+          }
         },
         kParGrain);
   });
@@ -294,6 +307,234 @@ NodeId weighted_sum(Tape& tape, NodeId x, const std::vector<float>& w) {
         0, n,
         [&](std::size_t lo, std::size_t hi) {
           for (std::size_t i = lo; i < hi; ++i) gx[i] += g * (w.empty() ? 1.0 : w[i]);
+        },
+        kParGrain);
+  });
+  return out;
+}
+
+FusedSelectionDemand fused_softmax_demand(
+    Tape& tape, NodeId path_logits, NodeId tree_logits,
+    const std::vector<std::int32_t>& path_offsets,
+    const std::vector<std::int32_t>& tree_offsets,
+    const std::vector<std::int32_t>& path_tree,
+    const std::vector<std::int32_t>& tree_path_offsets, const SparseIncidence& inc,
+    float temperature, const std::vector<float>* path_noise,
+    const std::vector<float>* tree_noise) {
+  const std::size_t np = tape.size(path_logits);
+  const std::size_t nt = tape.size(tree_logits);
+  if (path_offsets.size() < 2 || tree_offsets.size() < 2) {
+    throw std::invalid_argument("fused_softmax_demand: no groups");
+  }
+  if (temperature <= 0.0f) {
+    throw std::invalid_argument("fused_softmax_demand: t must be > 0");
+  }
+  if (static_cast<std::size_t>(path_offsets.back()) != np ||
+      static_cast<std::size_t>(tree_offsets.back()) != nt) {
+    throw std::invalid_argument("fused_softmax_demand: offsets do not cover logits");
+  }
+  if (path_tree.size() != np) {
+    throw std::invalid_argument("fused_softmax_demand: path_tree size mismatch");
+  }
+  if (tree_path_offsets.size() != nt + 1 ||
+      static_cast<std::size_t>(tree_path_offsets.back()) != np) {
+    throw std::invalid_argument("fused_softmax_demand: tree_path_offsets mismatch");
+  }
+  if ((path_noise != nullptr && path_noise->size() != np) ||
+      (tree_noise != nullptr && tree_noise->size() != nt)) {
+    throw std::invalid_argument("fused_softmax_demand: noise size mismatch");
+  }
+  if (inc.bwd_offsets->size() != np + 1) {
+    throw std::invalid_argument("fused_softmax_demand: transpose rows != path count");
+  }
+  if (inc.fwd_cols->size() != inc.fwd_weights->size() ||
+      inc.bwd_cols->size() != inc.bwd_weights->size() ||
+      inc.fwd_cols->size() != inc.bwd_cols->size()) {
+    throw std::invalid_argument("fused_softmax_demand: CSR arrays inconsistent");
+  }
+
+  const std::size_t n_edges = inc.fwd_offsets->size() - 1;
+  const std::size_t n_pgroups = path_offsets.size() - 1;
+  const std::size_t n_tgroups = tree_offsets.size() - 1;
+
+  FusedSelectionDemand out;
+  out.p = tape.make_node(np);
+  out.q = tape.make_node(nt);
+  out.eff = tape.make_node(np);
+  out.demand = tape.make_node(n_edges);
+
+  {
+    // Raw pointers taken after every make_node (node storage is stable for
+    // the rest of this call). One fused job: softmaxes | eff | demand.
+    const float* xp = tape.value(path_logits).data();
+    const float* xq = tape.value(tree_logits).data();
+    const float* nzp = path_noise != nullptr ? path_noise->data() : nullptr;
+    const float* nzq = tree_noise != nullptr ? tree_noise->data() : nullptr;
+    float* pv = tape.mutable_value(out.p).data();
+    float* qv = tape.mutable_value(out.q).data();
+    float* effv = tape.mutable_value(out.eff).data();
+    float* dv = tape.mutable_value(out.demand).data();
+    const std::uint32_t* off = inc.fwd_offsets->data();
+    const std::int32_t* cols = inc.fwd_cols->data();
+    const float* w = inc.fwd_weights->data();
+
+    util::ParallelRuntime::fused(
+        // Stage 1: both softmaxes share one index space [0, |S|+|N|) — they
+        // are independent, so no barrier is needed between them. Each chunk
+        // splits at the path/tree boundary once, keeping the loops tight.
+        util::stage_blocked(
+            0, n_pgroups + n_tgroups, 256,
+            [=, &path_offsets, &tree_offsets](std::size_t lo, std::size_t hi) {
+              for (std::size_t g = lo, pe = hi < n_pgroups ? hi : n_pgroups; g < pe; ++g) {
+                softmax_group(xp, nzp, pv, static_cast<std::size_t>(path_offsets[g]),
+                              static_cast<std::size_t>(path_offsets[g + 1]), temperature);
+              }
+              for (std::size_t g = lo > n_pgroups ? lo : n_pgroups; g < hi; ++g) {
+                const std::size_t t = g - n_pgroups;
+                softmax_group(xq, nzq, qv, static_cast<std::size_t>(tree_offsets[t]),
+                              static_cast<std::size_t>(tree_offsets[t + 1]), temperature);
+              }
+            }),
+        // Stage 2: eff_i = q[path_tree[i]] * p_i.
+        util::stage_blocked(0, np, kParGrain,
+                            [=, &path_tree](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i) {
+                                effv[i] =
+                                    qv[static_cast<std::size_t>(path_tree[i])] * pv[i];
+                              }
+                            }),
+        // Stage 3: expected demand per edge (edge-major CSR rows).
+        util::stage_blocked(0, n_edges, 512, [=](std::size_t lo, std::size_t hi) {
+          for (std::size_t r = lo; r < hi; ++r) {
+            double acc = 0.0;
+            for (std::uint32_t k = off[r]; k < off[r + 1]; ++k) {
+              acc += static_cast<double>(w[k]) * effv[static_cast<std::size_t>(cols[k])];
+            }
+            dv[r] = static_cast<float>(acc);
+          }
+        }));
+  }
+
+  tape.record([&tape, path_logits, tree_logits, out, &path_offsets, &tree_offsets,
+               &path_tree, &tree_path_offsets, inc, temperature, np, nt, n_pgroups,
+               n_tgroups] {
+    const float* pv = tape.value(out.p).data();
+    const float* qv = tape.value(out.q).data();
+    const double* gdemand = tape.grad(out.demand).data();
+    double* geff = tape.mutable_grad(out.eff).data();  // += wl/via contributions
+    double* gp = tape.mutable_grad(out.p).data();
+    double* gq = tape.mutable_grad(out.q).data();
+    double* gxp = tape.mutable_grad(path_logits).data();
+    double* gxq = tape.mutable_grad(tree_logits).data();
+    const std::uint32_t* boff = inc.bwd_offsets->data();
+    const std::int32_t* bcols = inc.bwd_cols->data();
+    const float* bw = inc.bwd_weights->data();
+
+    util::ParallelRuntime::fused(
+        // Stage 1: demand -> eff through the transpose CSR (path-owned rows);
+        // geff then holds the TOTAL upstream gradient of eff.
+        util::stage_blocked(0, np, 512, [=](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            double acc = 0.0;
+            for (std::uint32_t k = boff[i]; k < boff[i + 1]; ++k) {
+              acc += static_cast<double>(bw[k]) * gdemand[static_cast<std::size_t>(bcols[k])];
+            }
+            geff[i] += acc;
+          }
+        }),
+        // Stage 2: eff -> (p, q). gp rows are path-owned; gq rows are
+        // tree-owned thanks to tree_path_offsets (paths are tree-major), so
+        // no serial scatter is needed — both shards share one index space.
+        util::stage_blocked(
+            0, np + nt, kParGrain,
+            [=, &path_tree, &tree_path_offsets](std::size_t lo, std::size_t hi) {
+              for (std::size_t idx = lo, pe = hi < np ? hi : np; idx < pe; ++idx) {
+                gp[idx] += geff[idx] * qv[static_cast<std::size_t>(path_tree[idx])];
+              }
+              for (std::size_t idx = lo > np ? lo : np; idx < hi; ++idx) {
+                const std::size_t t = idx - np;
+                double acc = 0.0;
+                const auto plo = static_cast<std::size_t>(tree_path_offsets[t]);
+                const auto phi = static_cast<std::size_t>(tree_path_offsets[t + 1]);
+                for (std::size_t i = plo; i < phi; ++i) acc += geff[i] * pv[i];
+                gq[t] += acc;
+              }
+            }),
+        // Stage 3: both softmax backwards, sharing one group index space.
+        util::stage_blocked(
+            0, n_pgroups + n_tgroups, 256,
+            [=, &path_offsets, &tree_offsets](std::size_t lo, std::size_t hi) {
+              for (std::size_t g = lo, pe = hi < n_pgroups ? hi : n_pgroups; g < pe; ++g) {
+                softmax_group_backward(pv, gp, gxp,
+                                       static_cast<std::size_t>(path_offsets[g]),
+                                       static_cast<std::size_t>(path_offsets[g + 1]),
+                                       temperature);
+              }
+              for (std::size_t g = lo > n_pgroups ? lo : n_pgroups; g < hi; ++g) {
+                const std::size_t t = g - n_pgroups;
+                softmax_group_backward(qv, gq, gxq,
+                                       static_cast<std::size_t>(tree_offsets[t]),
+                                       static_cast<std::size_t>(tree_offsets[t + 1]),
+                                       temperature);
+              }
+            }));
+  });
+  return out;
+}
+
+NodeId fused_overflow_cost(Tape& tape, NodeId x, const std::vector<float>& c,
+                           Activation act, float alpha, std::size_t block) {
+  const std::size_t n = tape.size(x);
+  if (c.size() != n) throw std::invalid_argument("fused_overflow_cost: size mismatch");
+  if (block == 0) block = 1;
+
+  NodeId out = tape.make_node(1);
+  // The activated values f(x - c) are kept out-of-tape for the backward pass
+  // (sigmoid/exp derivatives reuse the forward output, saving a transcendental
+  // per element).
+  auto activated = std::make_shared<std::vector<float>>(n);
+  {
+    const float* xv = tape.value(x).data();
+    const float* cv = c.data();
+    float* av = activated->data();
+    // Fixed block decomposition -> owned partial slots -> ordered combine:
+    // bitwise identical for any worker count.
+    const std::size_t blocks = (n + block - 1) / block;
+    std::vector<double> partials(blocks, 0.0);
+    util::ParallelRuntime::for_blocked(
+        0, blocks,
+        [&, xv, cv, av](std::size_t blo, std::size_t bhi) {
+          for (std::size_t b = blo; b < bhi; ++b) {
+            const std::size_t lo = b * block;
+            const std::size_t hi = std::min(n, lo + block);
+            double acc = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) {
+              const float a = act_forward(act, alpha, xv[i] - cv[i]);
+              av[i] = a;
+              acc += static_cast<double>(a);
+            }
+            partials[b] = acc;
+          }
+        },
+        /*grain=*/1);
+    double total = 0.0;
+    for (const double part : partials) total += part;
+    tape.mutable_value(out)[0] = static_cast<float>(total);
+  }
+
+  // `c` is captured by reference (lifetime contract: it must outlive the tape).
+  tape.record([&tape, x, out, &c, act, alpha, n, activated] {
+    const double g = tape.grad(out)[0];
+    const float* xv = tape.value(x).data();
+    const float* cv = c.data();
+    const float* av = activated->data();
+    double* gx = tape.mutable_grad(x).data();
+    util::ParallelRuntime::for_blocked(
+        0, n,
+        [=](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            gx[i] += g * act_derivative(act, alpha, xv[i] - cv[i], av[i]);
+          }
         },
         kParGrain);
   });

@@ -59,6 +59,52 @@ NodeId apply_activation(Tape& tape, NodeId x, Activation act, float alpha = 1.0f
 /// Scalar Σ_i w_i * x_i (pass empty w for a plain sum). Accumulates in double.
 NodeId weighted_sum(Tape& tape, NodeId x, const std::vector<float>& w = {});
 
+// ---------------------------------------------------------------------------
+// Fused kernels — the per-iteration hot path of DgrSolver submitted as
+// multi-stage jobs on util::ParallelRuntime (one pool wakeup per chain
+// instead of one per primitive), with matching fused backward kernels.
+// Bitwise equal to the unfused ops per stage; only the overflow reduction
+// uses a different (still deterministic) summation order.
+// ---------------------------------------------------------------------------
+
+/// Nodes produced by fused_softmax_demand. p/q are exposed for tests and
+/// introspection; eff and demand feed the rest of the objective.
+struct FusedSelectionDemand {
+  NodeId p;       ///< per-path probabilities (softmax over subnet groups)
+  NodeId q;       ///< per-tree probabilities (softmax over net groups)
+  NodeId eff;     ///< eff_i = q[path_tree[i]] * p_i (Eqs. 4-6 coupling)
+  NodeId demand;  ///< per-edge expected demand (Eq. 10 scatter)
+};
+
+/// Fuses the selection chain p = softmax(x_p), q = softmax(x_q),
+/// eff = gather_mul(q, path_tree, p), demand = spmv(eff, inc) into ONE
+/// fused parallel job (3 stages forward, 3 stages backward). `noise`
+/// pointers carry Gumbel samples as in segment_softmax.
+///
+/// `tree_path_offsets` (size |trees|+1) gives each tree's contiguous path
+/// range — paths are tree-major in the DAG forest pools — and lets the
+/// backward scatter into q be a deterministic parallel loop over trees
+/// instead of a serial pass over paths. Offset/index arrays follow the
+/// lifetime contract above (captured by reference; must outlive the Tape).
+FusedSelectionDemand fused_softmax_demand(
+    Tape& tape, NodeId path_logits, NodeId tree_logits,
+    const std::vector<std::int32_t>& path_offsets,
+    const std::vector<std::int32_t>& tree_offsets,
+    const std::vector<std::int32_t>& path_tree,
+    const std::vector<std::int32_t>& tree_path_offsets, const SparseIncidence& inc,
+    float temperature, const std::vector<float>* path_noise = nullptr,
+    const std::vector<float>* tree_noise = nullptr);
+
+/// Fused overflow cost: scalar Σ_i f(x_i - c_i) in one blocked pass —
+/// activation and reduction fused, no slack / activated intermediate nodes.
+/// The reduction sums fixed `block`-sized slices into owned partial slots
+/// (double), then combines them in index order: bitwise thread-count
+/// invariant. Backward recomputes f'(x_i - c_i) in a single blocked pass.
+/// `block` is exposed so tests can exercise the multi-block path cheaply.
+NodeId fused_overflow_cost(Tape& tape, NodeId x, const std::vector<float>& c,
+                           Activation act, float alpha = 1.0f,
+                           std::size_t block = 4096);
+
 /// Scalar linear combination Σ_k coef_k * scalar_k of scalar nodes.
 NodeId combine(Tape& tape, const std::vector<NodeId>& scalars,
                const std::vector<float>& coefs);

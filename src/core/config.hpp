@@ -34,6 +34,11 @@ struct DgrConfig {
   float init_logit_std = 0.5f;  ///< random logit initialisation scale
 
   bool record_history = false;  ///< keep per-iteration cost curves
+
+  /// Use the fused softmax→demand and overflow+sum tape kernels (single
+  /// pool submission per chain). Off = the original one-op-per-primitive
+  /// graph; kept for A/B benchmarking and as a reference implementation.
+  bool fused_kernels = true;
 };
 
 /// One-line description for logs/bench labels.

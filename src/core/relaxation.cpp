@@ -22,6 +22,21 @@ Relaxation Relaxation::build(const dag::DagForest& forest) {
 
   r.tree_group_offsets = forest.net_tree_offsets();
 
+  // Paths are generated tree-by-tree, so per-tree path ranges are contiguous
+  // (counting sort over an already-sorted key).
+  r.tree_path_offsets.assign(forest.trees().size() + 1, 0);
+  for (const dag::PathCandidate& p : paths) {
+    ++r.tree_path_offsets[static_cast<std::size_t>(p.tree) + 1];
+  }
+  for (std::size_t t = 1; t < r.tree_path_offsets.size(); ++t) {
+    r.tree_path_offsets[t] += r.tree_path_offsets[t - 1];
+  }
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    assert(paths[i - 1].tree <= paths[i].tree && "paths must be tree-major");
+  }
+#endif
+
   r.path_tree.reserve(paths.size());
   r.path_inc_offsets.reserve(paths.size() + 1);
   r.wirelength.reserve(paths.size());
@@ -47,6 +62,7 @@ std::size_t Relaxation::memory_bytes() const {
   return path_group_offsets.capacity() * sizeof(std::int32_t) +
          tree_group_offsets.capacity() * sizeof(std::int32_t) +
          path_tree.capacity() * sizeof(std::int32_t) +
+         tree_path_offsets.capacity() * sizeof(std::int32_t) +
          path_inc_offsets.capacity() * sizeof(std::uint32_t) +
          wirelength.capacity() * sizeof(float) + turns.capacity() * sizeof(float);
 }

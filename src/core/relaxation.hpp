@@ -21,6 +21,10 @@ struct Relaxation {
   std::vector<std::int32_t> tree_group_offsets;
   /// Owning tree-candidate index per path (the gather of q_tree(i)). Size |P|.
   std::vector<std::int32_t> path_tree;
+  /// Contiguous path range per tree candidate (paths are tree-major in the
+  /// forest pools). Size |T|+1. Lets the fused backward scatter into q be a
+  /// deterministic parallel loop over trees.
+  std::vector<std::int32_t> tree_path_offsets;
   /// Transposed-incidence row offsets per path. Size |P|+1.
   std::vector<std::uint32_t> path_inc_offsets;
 

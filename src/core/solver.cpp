@@ -47,26 +47,40 @@ DgrSolver::Forward DgrSolver::build_forward(ad::Tape& tape, float temperature,
   fw.path_logits = tape.input(params_.data(), np);
   fw.tree_logits = tape.input(params_.data() + np, nt);
 
-  // p = gumbel_softmax(w_path) over subnet groups; q over net groups.
-  const ad::NodeId p =
-      ad::segment_softmax(tape, fw.path_logits, relax_.path_group_offsets, temperature,
-                          path_noise);
-  const ad::NodeId q =
-      ad::segment_softmax(tape, fw.tree_logits, relax_.tree_group_offsets, temperature,
-                          tree_noise);
+  ad::NodeId eff, overflow;
+  if (config_.fused_kernels) {
+    // Fused hot path: softmax→coupling→demand as one multi-stage job, and
+    // the Eq. 9 overflow term as a single activation+reduction pass.
+    const ad::FusedSelectionDemand sel = ad::fused_softmax_demand(
+        tape, fw.path_logits, fw.tree_logits, relax_.path_group_offsets,
+        relax_.tree_group_offsets, relax_.path_tree, relax_.tree_path_offsets,
+        relax_.incidence, temperature, path_noise, tree_noise);
+    eff = sel.eff;
+    overflow = ad::fused_overflow_cost(tape, sel.demand, capacities_,
+                                       config_.activation, config_.activation_alpha);
+  } else {
+    // Reference graph, one op per primitive.
+    // p = gumbel_softmax(w_path) over subnet groups; q over net groups.
+    const ad::NodeId p = ad::segment_softmax(tape, fw.path_logits,
+                                             relax_.path_group_offsets, temperature,
+                                             path_noise);
+    const ad::NodeId q = ad::segment_softmax(tape, fw.tree_logits,
+                                             relax_.tree_group_offsets, temperature,
+                                             tree_noise);
 
-  // eff_i = q_tree(i) * p_i — joint selection mass of path i.
-  const ad::NodeId eff = ad::gather_mul(tape, q, relax_.path_tree, p);
+    // eff_i = q_tree(i) * p_i — joint selection mass of path i.
+    eff = ad::gather_mul(tape, q, relax_.path_tree, p);
 
-  // Expected demand (Eq. 10): weighted scatter of eff over crossed edges
-  // (weights already include the beta/2 via charges).
-  const ad::NodeId demand = ad::spmv(tape, eff, relax_.incidence);
+    // Expected demand (Eq. 10): weighted scatter of eff over crossed edges
+    // (weights already include the beta/2 via charges).
+    const ad::NodeId demand = ad::spmv(tape, eff, relax_.incidence);
 
-  // overflow_cost = Σ_e f(d_e - cap_e) (Eq. 9).
-  const ad::NodeId slack = ad::sub_const(tape, demand, capacities_);
-  const ad::NodeId overflow_vec =
-      ad::apply_activation(tape, slack, config_.activation, config_.activation_alpha);
-  const ad::NodeId overflow = ad::weighted_sum(tape, overflow_vec);
+    // overflow_cost = Σ_e f(d_e - cap_e) (Eq. 9).
+    const ad::NodeId slack = ad::sub_const(tape, demand, capacities_);
+    const ad::NodeId overflow_vec =
+        ad::apply_activation(tape, slack, config_.activation, config_.activation_alpha);
+    overflow = ad::weighted_sum(tape, overflow_vec);
+  }
 
   // wirelength_cost = Σ eff_i WL_i (Eq. 11); via_cost = √L Σ eff_i TP_i (Eq. 12).
   const ad::NodeId wl = ad::weighted_sum(tape, eff, relax_.wirelength);

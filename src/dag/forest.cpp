@@ -83,7 +83,7 @@ DagForest DagForest::build(const Design& design, const ForestOptions& opts) {
     per_net[n] = build_net(gen, opts, forest.net_ids_[n]);
   };
   if (opts.parallel_build) {
-    util::parallel_for(0, num_nets, gen_one, /*grain=*/16);
+    util::ParallelRuntime::for_each(0, num_nets, gen_one, /*grain=*/16);
   } else {
     for (std::size_t n = 0; n < num_nets; ++n) gen_one(n);
   }

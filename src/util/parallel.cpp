@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -16,9 +17,15 @@ std::size_t default_workers() {
   return hc == 0 ? 4 : hc;
 }
 
-// A tiny persistent pool: jobs are (chunk range -> callback) pulled from a
-// shared atomic cursor. Creating threads per call would dominate the cost of
-// the small kernels DGR runs thousands of times.
+// A persistent pool executing multi-stage jobs. Creating threads per call
+// would dominate the cost of the small kernels DGR runs thousands of times,
+// and even a condition-variable round trip per kernel is measurable — so a
+// job carries an ARRAY of stages: workers wake once, then move from stage to
+// stage through spin barriers (fetch_add + yield loop), which cost tens of
+// nanoseconds instead of a sleep/wake cycle.
+//
+// Single-client discipline: jobs are submitted from one thread at a time
+// (the solver's training loop); stage functions must not submit nested jobs.
 class Pool {
  public:
   static Pool& instance() {
@@ -26,32 +33,38 @@ class Pool {
     return pool;
   }
 
-  void run(std::size_t begin, std::size_t end,
-           const std::function<void(std::size_t, std::size_t)>& fn, std::size_t grain) {
-    if (begin >= end) return;
-    const std::size_t n = end - begin;
+  void run(const detail::RawStage* stages, std::size_t count) {
     const std::size_t workers = worker_count();
-    if (workers <= 1 || n <= grain) {
-      fn(begin, end);
+    if (workers <= 1) {  // defensive: the template layer normally short-circuits
+      for (std::size_t s = 0; s < count; ++s) {
+        if (stages[s].begin < stages[s].end) {
+          stages[s].fn(stages[s].ctx, stages[s].begin, stages[s].end);
+        }
+      }
       return;
     }
-    ensure_threads(workers - 1);
     std::unique_lock<std::mutex> lock(mu_);
-    job_fn_ = &fn;
-    job_begin_ = begin;
-    job_end_ = end;
-    job_grain_ = grain;
-    cursor_.store(begin, std::memory_order_relaxed);
-    pending_ = static_cast<int>(threads_.size());
+    ensure_threads_locked(workers - 1);
+    stages_ = stages;
+    stage_count_ = count;
+    // Exactly `workers` participants: the caller plus threads [0, workers-1).
+    // Extra pool threads left over from a larger previous worker_count wake,
+    // see they are not enrolled, and go back to sleep.
+    active_threads_ = workers - 1;
+    participants_ = workers;
+    pending_ = static_cast<int>(active_threads_);
+    stage_idx_.store(0, std::memory_order_relaxed);
+    arrived_.store(0, std::memory_order_relaxed);
+    cursor_.store(stages[0].begin, std::memory_order_relaxed);
     ++epoch_;
     cv_start_.notify_all();
     lock.unlock();
 
-    work();  // caller participates
+    work_stages();  // caller participates
 
     lock.lock();
     cv_done_.wait(lock, [&] { return pending_ == 0; });
-    job_fn_ = nullptr;
+    stages_ = nullptr;
   }
 
  private:
@@ -66,17 +79,21 @@ class Pool {
     for (auto& t : threads_) t.join();
   }
 
-  void ensure_threads(std::size_t n) {
+  void ensure_threads_locked(std::size_t n) {
     while (threads_.size() < n) {
-      threads_.emplace_back([this, my_epoch = epoch_]() mutable {
+      // Threads are created while mu_ is held: the new thread blocks on the
+      // lock until job setup completes, then (epoch already bumped) joins the
+      // job it was enrolled in, or sleeps if the epoch has not moved yet.
+      threads_.emplace_back([this, my_epoch = epoch_,
+                             my_index = threads_.size()]() mutable {
         std::unique_lock<std::mutex> lock(mu_);
         for (;;) {
           cv_start_.wait(lock, [&] { return epoch_ != my_epoch || stopping_; });
           if (stopping_) return;
           my_epoch = epoch_;
-          if (job_fn_ == nullptr) continue;  // thread created mid-job epoch bump
+          if (stages_ == nullptr || my_index >= active_threads_) continue;
           lock.unlock();
-          work();
+          work_stages();
           lock.lock();
           if (--pending_ == 0) cv_done_.notify_one();
         }
@@ -84,15 +101,43 @@ class Pool {
     }
   }
 
-  void work() {
-    const auto* fn = job_fn_;
-    const std::size_t end = job_end_;
-    const std::size_t grain = job_grain_;
-    for (;;) {
-      const std::size_t lo = cursor_.fetch_add(grain, std::memory_order_relaxed);
-      if (lo >= end) break;
-      const std::size_t hi = lo + grain < end ? lo + grain : end;
-      (*fn)(lo, hi);
+  // Executes every stage of the current job, claiming chunks from the shared
+  // cursor. The inter-stage barrier: the last arriver resets the cursor for
+  // the next stage and publishes it with a release store on stage_idx_; the
+  // others spin (yield) until they observe the bump. The acquire/acq_rel
+  // chain on arrived_/stage_idx_ makes all stage-s writes visible to stage
+  // s+1 readers. After the final barrier nobody touches the caller-owned
+  // stage array again, so the caller may return as soon as its own
+  // work_stages() call unwinds (plus the cv_done_ handshake that keeps
+  // pending_ consistent for the next submission).
+  void work_stages() {
+    const detail::RawStage* const stages = stages_;
+    const std::size_t count = stage_count_;
+    const std::size_t participants = participants_;
+    for (std::size_t s = 0; s < count; ++s) {
+      const detail::RawStage st = stages[s];
+      for (;;) {
+        const std::size_t lo = cursor_.fetch_add(st.grain, std::memory_order_relaxed);
+        if (lo >= st.end) break;
+        const std::size_t hi = lo + st.grain < st.end ? lo + st.grain : st.end;
+        st.fn(st.ctx, lo, hi);
+      }
+      if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants) {
+        arrived_.store(0, std::memory_order_relaxed);
+        if (s + 1 < count) {
+          cursor_.store(stages[s + 1].begin, std::memory_order_relaxed);
+        }
+        stage_idx_.store(s + 1, std::memory_order_release);
+      } else {
+        // Brief spin, then yield: on oversubscribed machines the peers we
+        // wait for need the core we are holding, so with a single hardware
+        // thread spinning at all is counterproductive.
+        static const int spin_limit = std::thread::hardware_concurrency() > 1 ? 64 : 0;
+        int spins = 0;
+        while (stage_idx_.load(std::memory_order_acquire) <= s) {
+          if (++spins > spin_limit) std::this_thread::yield();
+        }
+      }
     }
   }
 
@@ -100,12 +145,20 @@ class Pool {
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   std::vector<std::thread> threads_;
-  const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_begin_ = 0, job_end_ = 0, job_grain_ = 1;
-  std::atomic<std::size_t> cursor_{0};
+
+  // Current job (guarded by mu_ for setup, then read-only during the job).
+  const detail::RawStage* stages_ = nullptr;
+  std::size_t stage_count_ = 0;
+  std::size_t active_threads_ = 0;
+  std::size_t participants_ = 0;
   int pending_ = 0;
   std::uint64_t epoch_ = 0;
   bool stopping_ = false;
+
+  // Hot-path atomics.
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<std::size_t> stage_idx_{0};
+  std::atomic<std::size_t> arrived_{0};
 };
 
 }  // namespace
@@ -117,20 +170,11 @@ std::size_t worker_count() {
 
 void set_worker_count(std::size_t n) { g_override.store(n, std::memory_order_relaxed); }
 
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn, std::size_t grain) {
-  parallel_for_blocked(
-      begin, end,
-      [&fn](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      },
-      grain);
+namespace detail {
+
+void pool_run_stages(const RawStage* stages, std::size_t count) {
+  Pool::instance().run(stages, count);
 }
 
-void parallel_for_blocked(std::size_t begin, std::size_t end,
-                          const std::function<void(std::size_t, std::size_t)>& fn,
-                          std::size_t grain) {
-  Pool::instance().run(begin, end, fn, grain == 0 ? 1 : grain);
-}
-
+}  // namespace detail
 }  // namespace dgr::util

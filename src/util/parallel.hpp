@@ -1,13 +1,34 @@
 #pragma once
-// Deterministic data-parallel helpers.
+// Deterministic data-parallel runtime (dgr::util::ParallelRuntime).
 //
 // The paper runs DGR's tensor kernels on a GPU via PyTorch; this CPU
 // substrate parallelises the same kernels across a persistent thread pool.
 // All reductions are structured so results are bitwise independent of the
 // thread count (each output element is owned by exactly one task).
+//
+// The front-end is header-only and fully templated: loop bodies are inlined
+// into the per-chunk trampoline instead of being erased behind std::function,
+// so a parallel_for over a tight numeric loop compiles to the same code as
+// the loop itself. Dispatch costs are paid only when they buy something:
+//
+//  * fast path — a range that fits in one grain, or worker_count() == 1,
+//    runs inline on the calling thread with no pool wakeup at all;
+//  * fused multi-stage tasks — a chain of dependent kernels (e.g. the DGR
+//    softmax -> expectation -> scatter pipeline) is submitted as one job:
+//    one condition-variable wakeup covers every stage, with cheap spin
+//    barriers between consecutive stages instead of a sleep/wake round trip
+//    per kernel.
+//
+// Determinism contract: a stage's function receives ownership of the index
+// range it is handed; it may only write state owned by those indices. Chunk
+// boundaries are derived from (begin, end, grain) only — never from the
+// thread count — so any reduction expressed as "fixed blocks -> owned
+// partial slots -> ordered combine" is bitwise thread-count invariant.
 
 #include <cstddef>
-#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
 
 namespace dgr::util {
 
@@ -18,17 +39,137 @@ std::size_t worker_count();
 /// that check determinism across thread counts.
 void set_worker_count(std::size_t n);
 
-/// Runs fn(i) for i in [begin, end) across the pool. Blocks until done.
-/// fn must not throw. Each index is executed exactly once; distinct indices
-/// may run concurrently, so fn may only write to state owned by index i.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn,
-                  std::size_t grain = 1024);
+namespace detail {
 
-/// Block variant: fn(lo, hi) is invoked on contiguous chunks covering
-/// [begin, end). Lower call overhead for tight numeric loops.
-void parallel_for_blocked(std::size_t begin, std::size_t end,
-                          const std::function<void(std::size_t, std::size_t)>& fn,
-                          std::size_t grain = 4096);
+/// Type-erased-but-cheap stage descriptor handed to the pool: a raw function
+/// pointer plus context, not a std::function (no allocation, trivially
+/// copyable, and the trampoline instantiation inlines the loop body).
+struct RawStage {
+  void (*fn)(void* ctx, std::size_t lo, std::size_t hi) = nullptr;
+  void* ctx = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+};
+
+/// Runs `count` stages on the persistent pool with ONE wakeup: workers claim
+/// chunks of stage s from a shared cursor, then pass a spin barrier before
+/// stage s+1 begins. Blocks until every stage has completed. Defined in
+/// parallel.cpp. Precondition: count >= 1, every grain >= 1.
+void pool_run_stages(const RawStage* stages, std::size_t count);
+
+template <class F>
+void blocked_trampoline(void* ctx, std::size_t lo, std::size_t hi) {
+  (*static_cast<F*>(ctx))(lo, hi);
+}
+
+template <class F>
+void indexed_trampoline(void* ctx, std::size_t lo, std::size_t hi) {
+  F& fn = *static_cast<F*>(ctx);
+  for (std::size_t i = lo; i < hi; ++i) fn(i);
+}
+
+}  // namespace detail
+
+/// A blocked stage of a fused task: fn(lo, hi) over chunks of [begin, end).
+/// Created via stage_blocked(); the functor lives inside the descriptor, so
+/// temporaries passed to ParallelRuntime::fused stay alive for the call.
+template <class F>
+struct BlockedStage {
+  std::size_t begin;
+  std::size_t end;
+  std::size_t grain;
+  F fn;
+};
+
+template <class F>
+BlockedStage<std::decay_t<F>> stage_blocked(std::size_t begin, std::size_t end,
+                                            std::size_t grain, F&& fn) {
+  return {begin, end, grain == 0 ? std::size_t{1} : grain, std::forward<F>(fn)};
+}
+
+/// The templated runtime. Stateless facade over the persistent pool; all
+/// methods are static so call sites read ParallelRuntime::for_blocked(...).
+class ParallelRuntime {
+ public:
+  /// Runs fn(i) for i in [begin, end). Blocks until done. fn must not throw.
+  /// Each index is executed exactly once; distinct indices may run
+  /// concurrently, so fn may only write to state owned by index i.
+  template <class F>
+  static void for_each(std::size_t begin, std::size_t end, F&& fn,
+                       std::size_t grain = 1024) {
+    if (begin >= end) return;
+    if (grain == 0) grain = 1;
+    if (end - begin <= grain || worker_count() <= 1) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
+    detail::RawStage stage{&detail::indexed_trampoline<std::remove_reference_t<F>>,
+                           const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+                           begin, end, grain};
+    detail::pool_run_stages(&stage, 1);
+  }
+
+  /// Block variant: fn(lo, hi) on contiguous chunks covering [begin, end).
+  /// Lower call overhead for tight numeric loops.
+  template <class F>
+  static void for_blocked(std::size_t begin, std::size_t end, F&& fn,
+                          std::size_t grain = 4096) {
+    if (begin >= end) return;
+    if (grain == 0) grain = 1;
+    if (end - begin <= grain || worker_count() <= 1) {
+      fn(begin, end);
+      return;
+    }
+    detail::RawStage stage{&detail::blocked_trampoline<std::remove_reference_t<F>>,
+                           const_cast<void*>(static_cast<const void*>(std::addressof(fn))),
+                           begin, end, grain};
+    detail::pool_run_stages(&stage, 1);
+  }
+
+  /// Fused submission: runs the stages in order with a barrier between
+  /// consecutive stages, paying a single pool wakeup for the whole chain.
+  /// Stage k+1 may read anything stage k wrote (the barrier publishes it).
+  /// Falls back to an inline serial sweep when the pool would not help
+  /// (single worker, or every stage fits in its own grain) — bitwise
+  /// identical results either way thanks to the ownership contract.
+  template <class... S>
+  static void fused(BlockedStage<S>... stages) {
+    constexpr std::size_t kCount = sizeof...(S);
+    if constexpr (kCount == 0) {
+      return;
+    } else {
+      const bool all_small = ((stages.end - stages.begin <= stages.grain) && ...);
+      if (all_small || worker_count() <= 1) {
+        (run_serial(stages), ...);
+        return;
+      }
+      const detail::RawStage raw[kCount] = {detail::RawStage{
+          &detail::blocked_trampoline<S>,
+          const_cast<void*>(static_cast<const void*>(std::addressof(stages.fn))),
+          stages.begin, stages.end, stages.grain}...};
+      detail::pool_run_stages(raw, kCount);
+    }
+  }
+
+ private:
+  template <class S>
+  static void run_serial(S& stage) {
+    if (stage.begin < stage.end) stage.fn(stage.begin, stage.end);
+  }
+};
+
+/// Back-compat free-function spellings; these inline straight into the
+/// runtime (no std::function, no overhead versus calling it directly).
+template <class F>
+void parallel_for(std::size_t begin, std::size_t end, F&& fn, std::size_t grain = 1024) {
+  ParallelRuntime::for_each(begin, end, std::forward<F>(fn), grain);
+}
+
+template <class F>
+void parallel_for_blocked(std::size_t begin, std::size_t end, F&& fn,
+                          std::size_t grain = 4096) {
+  ParallelRuntime::for_blocked(begin, end, std::forward<F>(fn), grain);
+}
 
 }  // namespace dgr::util

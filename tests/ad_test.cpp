@@ -458,6 +458,287 @@ TEST(SegmentSoftmax, EmptyGroupIsSkipped) {
   EXPECT_DOUBLE_EQ(tape.grad(x)[0], 0.0);  // softmax of singleton: flat
 }
 
+// ---------------------------------------------------------------------------
+// Fused kernels: fused_softmax_demand + fused_overflow_cost
+// ---------------------------------------------------------------------------
+
+/// 6 paths in 3 subnet groups, 3 trees in 2 net groups, 4 edges — the same
+/// incidence as the CompositeGraph test, plus the tree-major path ranges the
+/// fused backward needs.
+struct FusedFixture {
+  std::vector<std::int32_t> p_groups{0, 2, 4, 6};
+  std::vector<std::int32_t> q_groups{0, 2, 3};
+  std::vector<std::int32_t> path_tree{0, 0, 1, 1, 2, 2};
+  std::vector<std::int32_t> tree_paths{0, 2, 4, 6};
+  std::vector<std::uint32_t> fwd_off{0, 2, 4, 5, 7};
+  std::vector<std::int32_t> fwd_cols{0, 2, 1, 3, 4, 5, 0};
+  std::vector<float> fwd_w{1.0f, 1.0f, 1.0f, 1.5f, 1.0f, 1.0f, 0.5f};
+  std::vector<std::uint32_t> bwd_off{0, 2, 3, 4, 5, 6, 7};
+  std::vector<std::int32_t> bwd_cols{0, 3, 1, 0, 1, 2, 3};
+  std::vector<float> bwd_w{1.0f, 0.5f, 1.0f, 1.0f, 1.5f, 1.0f, 1.0f};
+  std::vector<float> wl{0.3f, 0.4f, 0.2f, 0.2f, 0.5f, 0.6f};
+  std::vector<float> wd{1.0f, -0.5f, 2.0f, 0.8f};
+
+  SparseIncidence inc() const {
+    return SparseIncidence{&fwd_off, &fwd_cols, &fwd_w, &bwd_off, &bwd_cols, &bwd_w};
+  }
+
+  /// Objective over the fused chain: Σ wd·demand + Σ wl·eff.
+  NodeId fused_objective(Tape& tape, const std::vector<float>& xp,
+                         const std::vector<float>& xq, float temperature,
+                         const std::vector<float>* noise_p = nullptr,
+                         const std::vector<float>* noise_q = nullptr,
+                         FusedSelectionDemand* nodes = nullptr, NodeId* pl = nullptr,
+                         NodeId* tl = nullptr) const {
+    const NodeId a = tape.input(xp);
+    const NodeId b = tape.input(xq);
+    if (pl != nullptr) *pl = a;
+    if (tl != nullptr) *tl = b;
+    const FusedSelectionDemand sel =
+        fused_softmax_demand(tape, a, b, p_groups, q_groups, path_tree, tree_paths,
+                             inc(), temperature, noise_p, noise_q);
+    if (nodes != nullptr) *nodes = sel;
+    return combine(tape, {weighted_sum(tape, sel.demand, wd), weighted_sum(tape, sel.eff, wl)},
+                   {1.0f, 1.0f});
+  }
+};
+
+TEST(FusedSoftmaxDemand, MatchesUnfusedComposition) {
+  FusedFixture fx;
+  util::Rng rng(17);
+  const std::vector<float> xp = random_vec(rng, 6);
+  const std::vector<float> xq = random_vec(rng, 3);
+  const std::vector<float> noise_p = random_vec(rng, 6, 0.3f);
+  const std::vector<float> noise_q = random_vec(rng, 3, 0.3f);
+
+  Tape fused_tape;
+  FusedSelectionDemand sel;
+  NodeId fpl, ftl;
+  const NodeId fused_cost = fx.fused_objective(fused_tape, xp, xq, 0.8f, &noise_p,
+                                               &noise_q, &sel, &fpl, &ftl);
+  fused_tape.backward(fused_cost);
+
+  Tape ref;
+  const NodeId pl = ref.input(xp);
+  const NodeId tl = ref.input(xq);
+  const NodeId p = segment_softmax(ref, pl, fx.p_groups, 0.8f, &noise_p);
+  const NodeId q = segment_softmax(ref, tl, fx.q_groups, 0.8f, &noise_q);
+  const NodeId eff = gather_mul(ref, q, fx.path_tree, p);
+  const NodeId demand = spmv(ref, eff, fx.inc());
+  ref.backward(combine(ref, {weighted_sum(ref, demand, fx.wd), weighted_sum(ref, eff, fx.wl)},
+                       {1.0f, 1.0f}));
+
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(fused_tape.value(sel.p)[i], ref.value(p)[i]) << i;
+    EXPECT_FLOAT_EQ(fused_tape.value(sel.eff)[i], ref.value(eff)[i]) << i;
+  }
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_FLOAT_EQ(fused_tape.value(sel.q)[t], ref.value(q)[t]) << t;
+  }
+  for (std::size_t e = 0; e < 4; ++e) {
+    EXPECT_FLOAT_EQ(fused_tape.value(sel.demand)[e], ref.value(demand)[e]) << e;
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(fused_tape.grad(fpl)[i], ref.grad(pl)[i],
+                1e-12 + 1e-9 * std::abs(ref.grad(pl)[i]))
+        << i;
+  }
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_NEAR(fused_tape.grad(ftl)[t], ref.grad(tl)[t],
+                1e-12 + 1e-9 * std::abs(ref.grad(tl)[t]))
+        << t;
+  }
+}
+
+TEST(FusedSoftmaxDemand, GradCheckWithGumbelNoise) {
+  FusedFixture fx;
+  util::Rng rng(23);
+  const std::vector<float> xp = random_vec(rng, 6);
+  const std::vector<float> xq = random_vec(rng, 3);
+  const std::vector<float> noise_p = random_vec(rng, 6, 0.4f);
+  const std::vector<float> noise_q = random_vec(rng, 3, 0.4f);
+
+  auto split = [&](const std::vector<float>& params, std::vector<float>* a,
+                   std::vector<float>* b) {
+    a->assign(params.begin(), params.begin() + 6);
+    b->assign(params.begin() + 6, params.end());
+  };
+  auto f = [&](const std::vector<float>& params) {
+    std::vector<float> a, b;
+    split(params, &a, &b);
+    Tape t;
+    return static_cast<double>(
+        t.value(fx.fused_objective(t, a, b, 0.7f, &noise_p, &noise_q))[0]);
+  };
+
+  std::vector<float> params(xp);
+  params.insert(params.end(), xq.begin(), xq.end());
+  Tape tape;
+  NodeId pl, tl;
+  tape.backward(fx.fused_objective(tape, xp, xq, 0.7f, &noise_p, &noise_q, nullptr,
+                                   &pl, &tl));
+  std::vector<double> grad(9);
+  std::copy(tape.grad(pl).begin(), tape.grad(pl).end(), grad.begin());
+  std::copy(tape.grad(tl).begin(), tape.grad(tl).end(), grad.begin() + 6);
+  const auto r = grad_check(f, params, grad);
+  EXPECT_TRUE(r.ok) << "max_abs_err=" << r.max_abs_err << " at " << r.worst_index;
+}
+
+class FusedSoftmaxDemandTemperature : public ::testing::TestWithParam<float> {};
+
+TEST_P(FusedSoftmaxDemandTemperature, GradCheckAtExtremeTemperatures) {
+  // τ=0.01 drives the softmaxes to saturation (gradients underflow to ~0 and
+  // finite differences agree); τ=10 flattens them. Both must gradcheck.
+  FusedFixture fx;
+  const float tau = GetParam();
+  // Well-separated logits so the τ→0 limit is a stable one-hot.
+  const std::vector<float> xp{0.9f, -0.4f, 0.1f, 1.2f, -0.8f, 0.5f};
+  const std::vector<float> xq{0.6f, -0.7f, 0.2f};
+  auto f = [&](const std::vector<float>& params) {
+    const std::vector<float> a(params.begin(), params.begin() + 6);
+    const std::vector<float> b(params.begin() + 6, params.end());
+    Tape t;
+    return static_cast<double>(t.value(fx.fused_objective(t, a, b, tau))[0]);
+  };
+  std::vector<float> params(xp);
+  params.insert(params.end(), xq.begin(), xq.end());
+  Tape tape;
+  NodeId pl, tl;
+  tape.backward(fx.fused_objective(tape, xp, xq, tau, nullptr, nullptr, nullptr, &pl, &tl));
+  std::vector<double> grad(9);
+  std::copy(tape.grad(pl).begin(), tape.grad(pl).end(), grad.begin());
+  std::copy(tape.grad(tl).begin(), tape.grad(tl).end(), grad.begin() + 6);
+  const auto r = grad_check(f, params, grad);
+  EXPECT_TRUE(r.ok) << "tau=" << tau << " max_abs_err=" << r.max_abs_err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Extremes, FusedSoftmaxDemandTemperature,
+                         ::testing::Values(0.01f, 10.0f));
+
+TEST(FusedSoftmaxDemand, DegenerateSegmentsGradCheck) {
+  // Single-candidate subnet groups (softmax == 1), an empty subnet group,
+  // and a tree candidate with zero paths. 3 paths / 3 subnet groups (middle
+  // empty), 2 trees (tree 1 empty), 1 net group over both trees, 2 edges.
+  const std::vector<std::int32_t> p_groups{0, 1, 1, 3};
+  const std::vector<std::int32_t> q_groups{0, 2};
+  const std::vector<std::int32_t> path_tree{0, 0, 0};
+  const std::vector<std::int32_t> tree_paths{0, 3, 3};
+  const std::vector<std::uint32_t> fwd_off{0, 2, 3};
+  const std::vector<std::int32_t> fwd_cols{0, 1, 2};
+  const std::vector<float> fwd_w{1.0f, 0.5f, 2.0f};
+  const std::vector<std::uint32_t> bwd_off{0, 1, 2, 3};
+  const std::vector<std::int32_t> bwd_cols{0, 0, 1};
+  const std::vector<float> bwd_w{1.0f, 0.5f, 2.0f};
+  const SparseIncidence inc{&fwd_off, &fwd_cols, &fwd_w, &bwd_off, &bwd_cols, &bwd_w};
+  const std::vector<float> wd{1.5f, -0.7f};
+
+  auto objective = [&](Tape& t, const std::vector<float>& a, const std::vector<float>& b,
+                       NodeId* pl, NodeId* tl) {
+    *pl = t.input(a);
+    *tl = t.input(b);
+    const FusedSelectionDemand sel = fused_softmax_demand(
+        t, *pl, *tl, p_groups, q_groups, path_tree, tree_paths, inc, 0.9f);
+    return weighted_sum(t, sel.demand, wd);
+  };
+  const std::vector<float> xp{0.4f, -0.2f, 0.7f};
+  const std::vector<float> xq{0.1f, -0.5f};
+  auto f = [&](const std::vector<float>& params) {
+    const std::vector<float> a(params.begin(), params.begin() + 3);
+    const std::vector<float> b(params.begin() + 3, params.end());
+    Tape t;
+    NodeId pl, tl;
+    return static_cast<double>(t.value(objective(t, a, b, &pl, &tl))[0]);
+  };
+  std::vector<float> params(xp);
+  params.insert(params.end(), xq.begin(), xq.end());
+  Tape tape;
+  NodeId pl, tl;
+  tape.backward(objective(tape, xp, xq, &pl, &tl));
+  std::vector<double> grad(5);
+  std::copy(tape.grad(pl).begin(), tape.grad(pl).end(), grad.begin());
+  std::copy(tape.grad(tl).begin(), tape.grad(tl).end(), grad.begin() + 3);
+  const auto r = grad_check(f, params, grad);
+  EXPECT_TRUE(r.ok) << "max_abs_err=" << r.max_abs_err << " at " << r.worst_index;
+  // The single-candidate group is a constant 1 under softmax: zero gradient.
+  EXPECT_NEAR(tape.grad(pl)[0], 0.0, 1e-12);
+}
+
+TEST(FusedSoftmaxDemand, RejectsBadStructure) {
+  FusedFixture fx;
+  Tape tape;
+  const NodeId a = tape.input(std::vector<float>(6, 0.0f));
+  const NodeId b = tape.input(std::vector<float>(3, 0.0f));
+  EXPECT_THROW(fused_softmax_demand(tape, a, b, fx.p_groups, fx.q_groups, fx.path_tree,
+                                    fx.tree_paths, fx.inc(), 0.0f),
+               std::invalid_argument);
+  std::vector<std::int32_t> bad_tree_paths{0, 2, 4, 5};  // does not cover paths
+  EXPECT_THROW(fused_softmax_demand(tape, a, b, fx.p_groups, fx.q_groups, fx.path_tree,
+                                    bad_tree_paths, fx.inc(), 1.0f),
+               std::invalid_argument);
+}
+
+TEST(FusedOverflowCost, MatchesUnfusedChain) {
+  util::Rng rng(29);
+  const std::vector<float> x0 = random_vec(rng, 11);
+  const std::vector<float> cap(11, 0.2f);
+  for (const Activation act : {Activation::kReLU, Activation::kSigmoid,
+                               Activation::kLeakyReLU, Activation::kExp,
+                               Activation::kCELU}) {
+    Tape fused;
+    const NodeId fx = fused.input(x0);
+    // block=3 exercises the multi-block partial reduction.
+    const NodeId fo = fused_overflow_cost(fused, fx, cap, act, 1.0f, /*block=*/3);
+    Tape ref;
+    const NodeId rx = ref.input(x0);
+    const NodeId ro =
+        weighted_sum(ref, apply_activation(ref, sub_const(ref, rx, cap), act, 1.0f));
+    EXPECT_NEAR(fused.value(fo)[0], ref.value(ro)[0],
+                1e-6 + 1e-6 * std::abs(ref.value(ro)[0]))
+        << activation_name(act);
+    fused.backward(fo);
+    ref.backward(ro);
+    for (std::size_t i = 0; i < x0.size(); ++i) {
+      EXPECT_NEAR(fused.grad(fx)[i], ref.grad(rx)[i],
+                  1e-12 + 1e-9 * std::abs(ref.grad(rx)[i]))
+          << activation_name(act) << " i=" << i;
+    }
+  }
+}
+
+class FusedOverflowGradCheck : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(FusedOverflowGradCheck, MatchesFiniteDifferences) {
+  // Slacks kept away from the ReLU/LeakyReLU kink at 0 (|x - c| >= 0.25) and
+  // small enough that float rounding of the Exp sum stays below the finite-
+  // difference tolerance on every coordinate.
+  const std::vector<float> x0{-1.1f, -0.7f, 0.3f, 0.55f, 0.8f, -0.9f, 0.45f};
+  const std::vector<float> cap{0.05f, 0.05f, 0.05f, 0.05f, 0.05f, 0.05f, 0.05f};
+  const Activation act = GetParam();
+  auto f = [&](const std::vector<float>& x) {
+    Tape t;
+    return static_cast<double>(
+        t.value(fused_overflow_cost(t, t.input(x), cap, act, 1.0f, /*block=*/3))[0]);
+  };
+  Tape tape;
+  const NodeId x = tape.input(x0);
+  tape.backward(fused_overflow_cost(tape, x, cap, act, 1.0f, /*block=*/3));
+  const auto r = grad_check(f, x0, tape.grad(x));
+  EXPECT_TRUE(r.ok) << activation_name(act) << " max_abs_err=" << r.max_abs_err;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, FusedOverflowGradCheck,
+                         ::testing::Values(Activation::kReLU, Activation::kSigmoid,
+                                           Activation::kLeakyReLU, Activation::kExp,
+                                           Activation::kCELU));
+
+TEST(FusedOverflowCost, EmptyInputIsZero) {
+  Tape tape;
+  const std::vector<float> cap;  // must outlive the tape (captured by reference)
+  const NodeId x = tape.input(std::vector<float>{});
+  const NodeId y = fused_overflow_cost(tape, x, cap, Activation::kSigmoid);
+  EXPECT_FLOAT_EQ(tape.value(y)[0], 0.0f);
+}
+
 TEST(Spmv, EmptyRowsProduceZero) {
   const std::vector<std::uint32_t> fwd_off{0, 0, 1, 1};
   const std::vector<std::int32_t> fwd_cols{0};

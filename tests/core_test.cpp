@@ -8,6 +8,7 @@
 #include "design/generator.hpp"
 #include "eval/metrics.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 namespace dgr::core {
 namespace {
@@ -311,6 +312,90 @@ TEST(CostBreakdown, ComponentsAddUp) {
   EXPECT_NEAR(c.wirelength, 20.0, 1e-3);
 }
 
+
+/// Full training run of one solver at a given worker count; returns everything
+/// the determinism contract covers (per-iteration costs, final params, routes).
+struct TrainOutcome {
+  std::vector<double> cost_history;
+  std::vector<float> logits;
+  eval::RouteSolution solution;
+};
+
+TrainOutcome train_at_workers(const dag::DagForest& forest, const std::vector<float>& cap,
+                              const DgrConfig& config, std::size_t workers) {
+  util::set_worker_count(workers);
+  DgrSolver solver(forest, cap, config);
+  TrainOutcome out;
+  out.cost_history = solver.train().cost_history;
+  out.logits = solver.logits();
+  out.solution = solver.extract();
+  return out;
+}
+
+TEST(DgrSolver, BitwiseDeterministicAcrossWorkerCounts) {
+  // The ISSUE's headline contract: every parallel kernel in the training loop
+  // partitions work by (begin, end, grain) only, so thread count must not
+  // change a single bit of the trajectory. Run the full train()+extract()
+  // pipeline at 1/2/4/default workers and require bitwise-equal histories,
+  // parameters, and routes.
+  design::IspdLikeParams p;
+  p.num_nets = 80;
+  p.grid_w = p.grid_h = 16;
+  const design::Design d = design::generate_ispd_like(p, 11);
+  const auto cap = d.capacities();
+  const dag::DagForest forest = dag::DagForest::build(d, {});
+  DgrConfig config = fast_config();
+  config.iterations = 40;
+
+  const TrainOutcome ref = train_at_workers(forest, cap, config, 1);
+  ASSERT_EQ(ref.cost_history.size(), 40u);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{4}, std::size_t{0}}) {
+    const TrainOutcome got = train_at_workers(forest, cap, config, workers);
+    ASSERT_EQ(got.cost_history.size(), ref.cost_history.size()) << workers;
+    for (std::size_t i = 0; i < ref.cost_history.size(); ++i) {
+      EXPECT_EQ(got.cost_history[i], ref.cost_history[i])
+          << "workers=" << workers << " iter=" << i;
+    }
+    ASSERT_EQ(got.logits.size(), ref.logits.size()) << workers;
+    for (std::size_t i = 0; i < ref.logits.size(); ++i) {
+      EXPECT_EQ(got.logits[i], ref.logits[i]) << "workers=" << workers << " logit=" << i;
+    }
+    ASSERT_EQ(got.solution.nets.size(), ref.solution.nets.size()) << workers;
+    for (std::size_t n = 0; n < ref.solution.nets.size(); ++n) {
+      ASSERT_EQ(got.solution.nets[n].paths.size(), ref.solution.nets[n].paths.size())
+          << "workers=" << workers << " net=" << n;
+      for (std::size_t k = 0; k < ref.solution.nets[n].paths.size(); ++k) {
+        EXPECT_EQ(got.solution.nets[n].paths[k].waypoints,
+                  ref.solution.nets[n].paths[k].waypoints)
+            << "workers=" << workers << " net=" << n << " path=" << k;
+      }
+    }
+  }
+  util::set_worker_count(0);
+}
+
+TEST(DgrSolver, FusedAndUnfusedForwardAgree) {
+  // The fused kernels must compute the same objective as the reference graph
+  // (only the overflow reduction order differs: block partials vs serial).
+  auto fx = ConflictFixture::make();
+  DgrConfig fused = fast_config();
+  fused.fused_kernels = true;
+  DgrConfig unfused = fused;
+  unfused.fused_kernels = false;
+  DgrSolver a(fx.forest(), fx.cap, fused);
+  DgrSolver b(fx.forest(), fx.cap, unfused);
+  const CostBreakdown ca = a.evaluate(1.0f);
+  const CostBreakdown cb = b.evaluate(1.0f);
+  EXPECT_NEAR(ca.total, cb.total, 1e-5 + 1e-6 * std::abs(cb.total));
+  EXPECT_NEAR(ca.overflow, cb.overflow, 1e-5 + 1e-6 * std::abs(cb.overflow));
+  EXPECT_NEAR(ca.wirelength, cb.wirelength, 1e-5);
+  EXPECT_NEAR(ca.via, cb.via, 1e-5);
+  // And both modes train to the same qualitative solution.
+  a.train();
+  b.train();
+  EXPECT_TRUE(a.extract().connects_all_pins());
+  EXPECT_TRUE(b.extract().connects_all_pins());
+}
 
 TEST(DgrSolver, AdaptiveForestTrainsAndExtracts) {
   design::IspdLikeParams p;

@@ -157,12 +157,170 @@ TEST(ParallelFor, DeterministicAcrossWorkerCounts) {
   EXPECT_EQ(run(2), run(8));
 }
 
+TEST(ParallelFor, SmallRangeRunsInlineOnCallingThread) {
+  // Fast path: a range that fits in one grain must not wake the pool.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(100);
+  parallel_for(0, 100, [&](std::size_t i) { seen[i] = std::this_thread::get_id(); },
+               /*grain=*/1024);
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, SingleWorkerRunsInlineOnCallingThread) {
+  set_worker_count(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> off_thread{false};
+  parallel_for_blocked(0, 100000, [&](std::size_t, std::size_t) {
+    if (std::this_thread::get_id() != caller) off_thread.store(true);
+  }, /*grain=*/64);
+  set_worker_count(0);
+  EXPECT_FALSE(off_thread.load());
+}
+
+TEST(ParallelFor, GrainZeroIsTreatedAsOne) {
+  const std::size_t n = 3000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); }, /*grain=*/0);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  std::atomic<std::size_t> covered{0};
+  parallel_for_blocked(0, n, [&](std::size_t lo, std::size_t hi) {
+    covered.fetch_add(hi - lo);
+  }, /*grain=*/0);
+  EXPECT_EQ(covered.load(), n);
+}
+
+TEST(ParallelFor, RangeSmallerThanGrainExecutesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(10);
+  parallel_for_blocked(0, 10, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  }, /*grain=*/4096);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, BackToBackSubmissionsFromMainThread) {
+  // Hammers the pool's start/finish handshake: no deadlock, exactly-once
+  // execution for every submission, across several worker counts.
+  for (const std::size_t workers : {2u, 4u, 0u}) {
+    set_worker_count(workers);
+    const std::size_t n = 4096;
+    std::vector<std::atomic<int>> hits(n);
+    for (int round = 0; round < 100; ++round) {
+      parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); }, /*grain=*/16);
+    }
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 100) << i;
+  }
+  set_worker_count(0);
+}
+
 TEST(ParallelFor, BlockedChunksPartitionRange) {
   std::atomic<std::size_t> total{0};
   parallel_for_blocked(10, 1010, [&](std::size_t lo, std::size_t hi) {
     total.fetch_add(hi - lo);
   }, 16);
   EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(FusedStages, LaterStagesSeeEarlierStageWrites) {
+  // Stage 2 reads stage 1's output at a *different* index (the mirror), so
+  // it only works if the inter-stage barrier publishes all of stage 1.
+  for (const std::size_t workers : {1u, 2u, 4u, 0u}) {
+    set_worker_count(workers);
+    const std::size_t n = 30000;
+    std::vector<double> a(n, 0.0), b(n, 0.0);
+    ParallelRuntime::fused(
+        stage_blocked(0, n, 64,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          a[i] = static_cast<double>(i);
+                        }
+                      }),
+        stage_blocked(0, n, 128, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) b[i] = a[i] + a[n - 1 - i];
+        }));
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(b[i], static_cast<double>(n - 1)) << "workers=" << workers << " i=" << i;
+    }
+  }
+  set_worker_count(0);
+}
+
+TEST(FusedStages, ExactlyOnceExecutionPerStage) {
+  for (const std::size_t workers : {1u, 3u, 0u}) {
+    set_worker_count(workers);
+    const std::size_t n = 12345;
+    std::vector<std::atomic<int>> s1(n), s2(n), s3(n);
+    ParallelRuntime::fused(
+        stage_blocked(0, n, 7,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) s1[i].fetch_add(1);
+                      }),
+        stage_blocked(0, n, 4096,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) s2[i].fetch_add(1);
+                      }),
+        stage_blocked(0, n, 0,  // grain 0 must behave as 1
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) s3[i].fetch_add(1);
+                      }));
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(s1[i].load(), 1);
+      ASSERT_EQ(s2[i].load(), 1);
+      ASSERT_EQ(s3[i].load(), 1);
+    }
+  }
+  set_worker_count(0);
+}
+
+TEST(FusedStages, EmptyAndMixedSizeStages) {
+  // Empty stages must not deadlock the barrier; a tiny stage fused with a
+  // large one still executes exactly once each.
+  set_worker_count(4);
+  std::atomic<int> tiny{0};
+  std::atomic<std::size_t> covered{0};
+  ParallelRuntime::fused(
+      stage_blocked(5, 5, 16, [&](std::size_t, std::size_t) { tiny.fetch_add(1000); }),
+      stage_blocked(0, 1, 16, [&](std::size_t, std::size_t) { tiny.fetch_add(1); }),
+      stage_blocked(0, 100000, 256, [&](std::size_t lo, std::size_t hi) {
+        covered.fetch_add(hi - lo);
+      }));
+  set_worker_count(0);
+  EXPECT_EQ(tiny.load(), 1);          // empty stage never ran
+  EXPECT_EQ(covered.load(), 100000u);  // large stage fully covered
+}
+
+TEST(FusedStages, DeterministicBlockReduction) {
+  // The canonical ownership-based reduction: fixed blocks -> owned partial
+  // slots -> ordered combine. Bitwise identical for every worker count.
+  const std::size_t n = 100000;
+  const std::size_t block = 512;
+  const std::size_t blocks = (n + block - 1) / block;
+  auto run = [&](std::size_t workers) {
+    set_worker_count(workers);
+    std::vector<double> x(n), partials(blocks, 0.0);
+    ParallelRuntime::fused(
+        stage_blocked(0, n, 4096,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          x[i] = std::sin(static_cast<double>(i)) * 1e-3;
+                        }
+                      }),
+        stage_blocked(0, blocks, 1, [&](std::size_t blo, std::size_t bhi) {
+          for (std::size_t b = blo; b < bhi; ++b) {
+            double acc = 0.0;
+            const std::size_t hi = std::min(n, (b + 1) * block);
+            for (std::size_t i = b * block; i < hi; ++i) acc += x[i];
+            partials[b] = acc;
+          }
+        }));
+    set_worker_count(0);
+    double total = 0.0;
+    for (const double p : partials) total += p;
+    return total;
+  };
+  const double t1 = run(1);
+  EXPECT_EQ(t1, run(2));
+  EXPECT_EQ(t1, run(4));
+  EXPECT_EQ(t1, run(0));
 }
 
 TEST(Timer, MeasuresElapsedTime) {
