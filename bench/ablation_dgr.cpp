@@ -31,7 +31,8 @@ int main() {
   auto presets = design::table2_presets(bench::bench_scale());
   const auto& preset = presets[0];  // ispd18_5m-like congested case
   const design::Design d = design::generate_ispd_like(preset, /*seed=*/707);
-  const auto cap = d.capacities();
+  pipeline::RoutingContext ctx(d);
+  pipeline::Pipeline pipe(ctx);
 
   core::DgrConfig base;
   base.iterations = iters;
@@ -94,19 +95,20 @@ int main() {
                             "vias", "solve (s)"});
 
   for (const Variant& v : variants) {
-    const dag::DagForest forest = dag::DagForest::build(d, v.forest);
-    util::Timer timer;
-    core::DgrSolver solver(forest, cap, v.config);
-    solver.train();
-    eval::RouteSolution sol = solver.extract();
-    if (v.refine) post::maze_refine(sol, cap);
-    const double secs = timer.seconds();
-    const eval::Metrics m = eval::compute_metrics(sol, cap);
-    const post::LayerAssignment la = post::assign_layers(sol, cap);
-    table.add_row({v.name, eval::fmt_int(static_cast<std::int64_t>(forest.paths().size())),
-                   eval::fmt_int(m.overflow_edges), eval::fmt_double(m.total_overflow, 1),
-                   eval::fmt_int(m.wirelength), eval::fmt_int(la.via_count),
-                   eval::fmt_double(secs, 2)});
+    pipeline::RouterOptions ro;
+    ro.dgr = v.config;
+    ro.forest = v.forest;
+    const pipeline::PipelineResult r = pipe.run(
+        "dgr", ro, pipeline::StagePlan{.maze_refine = v.refine, .layer_assign = true});
+    const double secs = bench::dgr_solve_seconds(r.stats) +
+                        r.stats.stage_seconds("maze_refine");
+    table.add_row({v.name,
+                   eval::fmt_int(static_cast<std::int64_t>(
+                       r.stats.counter("path_candidates"))),
+                   eval::fmt_int(r.metrics.overflow_edges),
+                   eval::fmt_double(r.metrics.total_overflow, 1),
+                   eval::fmt_int(r.metrics.wirelength),
+                   eval::fmt_int(r.layers.via_count), eval::fmt_double(secs, 2)});
   }
 
   table.print(std::cout);

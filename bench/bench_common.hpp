@@ -52,4 +52,19 @@ inline core::DgrConfig table1_dgr_config(int iterations) {
   return config;
 }
 
+/// RouterOptions for a standard DGR run at the bench's iteration budget
+/// (paper defaults otherwise). Every harness selects routers through the
+/// pipeline registry with these options.
+inline pipeline::RouterOptions dgr_router_options(int iterations) {
+  pipeline::RouterOptions options;
+  options.dgr.iterations = iterations;
+  options.dgr.temperature_interval = std::max(1, iterations / 10);
+  return options;
+}
+
+/// DGR solver time, excluding DAG-forest construction (Fig. 5 footnote 3).
+inline double dgr_solve_seconds(const pipeline::RouterStats& stats) {
+  return stats.stage_seconds("train") + stats.stage_seconds("extract");
+}
+
 }  // namespace dgr::bench

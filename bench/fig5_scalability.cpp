@@ -27,7 +27,6 @@ int main() {
   eval::TablePrinter table({"# nets", "grid", "forest build (s)", "DGR solve (s)",
                             "CUGR2-lite (s)", "peak RSS (MB)", "solver bytes (MB)"});
 
-  double prev_solver_mb = 0.0;
   for (const int nets : net_counts) {
     design::IspdLikeParams p;
     p.name = "sweep";
@@ -38,39 +37,29 @@ int main() {
     p.layers = 5;
     p.tracks_per_layer = 3;
     const design::Design d = design::generate_ispd_like(p, 5050);
-    const auto cap = d.capacities();
+    pipeline::RoutingContext ctx(d);
+    pipeline::Pipeline pipe(ctx);
+    const pipeline::StagePlan route_only{.maze_refine = false, .layer_assign = false};
 
-    util::Timer build_timer;
-    const dag::DagForest forest = dag::DagForest::build(d, {});
-    const double build_s = build_timer.seconds();
+    // Per-stage RouterStats give the figure's series directly: "forest" is
+    // construction (excluded from DGR runtime per footnote 3), "train" +
+    // "extract" is the solver curve, solver_bytes the "GPU memory" proxy.
+    const pipeline::PipelineResult dgr_run =
+        pipe.run("dgr", bench::dgr_router_options(iters), route_only);
+    const double build_s = dgr_run.stats.stage_seconds("forest");
+    const double solve_s = bench::dgr_solve_seconds(dgr_run.stats);
 
-    core::DgrConfig config;
-    config.iterations = iters;
-    config.temperature_interval = std::max(1, iters / 10);
-    core::DgrSolver solver(forest, cap, config);
-    util::Timer solve_timer;
-    const core::TrainStats ts = solver.train();
-    (void)solver.extract();
-    const double solve_s = solve_timer.seconds();
+    const pipeline::PipelineResult base = pipe.run("cugr2-lite", {}, route_only);
+    const double base_s = base.stats.stage_seconds("route_total");
 
-    util::Timer base_timer;
-    routers::Cugr2Lite baseline(d, cap);
-    (void)baseline.route();
-    const double base_s = base_timer.seconds();
-
-    const double rss_mb = static_cast<double>(util::peak_rss_bytes()) / 1e6;
-    const double solver_mb =
-        static_cast<double>(forest.memory_bytes() + solver.relaxation().memory_bytes() +
-                            ts.tape_bytes) /
-        1e6;
+    const double rss_mb = static_cast<double>(base.stats.peak_rss_bytes) / 1e6;
+    const double solver_mb = static_cast<double>(dgr_run.stats.solver_bytes) / 1e6;
 
     table.add_row({eval::fmt_int(nets), std::to_string(g) + "x" + std::to_string(g),
                    eval::fmt_double(build_s, 3), eval::fmt_double(solve_s, 3),
                    eval::fmt_double(base_s, 3), eval::fmt_double(rss_mb, 1),
                    eval::fmt_double(solver_mb, 1)});
-    prev_solver_mb = solver_mb;
   }
-  (void)prev_solver_mb;
 
   table.print(std::cout);
   std::cout << "\nPaper claims to check (5a): DGR runtime grows roughly linearly in\n"

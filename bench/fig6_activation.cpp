@@ -22,13 +22,13 @@ struct PointMetrics {
   double y = 0.0;
 };
 
-PointMetrics score(const eval::RouteSolution& sol, const std::vector<float>& cap) {
-  const eval::Metrics m = eval::compute_metrics(sol, cap);
-  const post::LayerAssignment la = post::assign_layers(sol, cap);
+PointMetrics score(const pipeline::PipelineResult& r) {
   PointMetrics pt;
-  pt.x = 0.5 * static_cast<double>(m.wirelength) + 4.0 * static_cast<double>(la.via_count);
-  pt.y = 10.0 * static_cast<double>(la.nets_with_overflow) +
-         1000.0 * static_cast<double>(m.overflow_edges) + 10000.0 * m.peak_overflow;
+  pt.x = 0.5 * static_cast<double>(r.metrics.wirelength) +
+         4.0 * static_cast<double>(r.layers.via_count);
+  pt.y = 10.0 * static_cast<double>(r.layers.nets_with_overflow) +
+         1000.0 * static_cast<double>(r.metrics.overflow_edges) +
+         10000.0 * r.metrics.peak_overflow;
   return pt;
 }
 
@@ -53,8 +53,10 @@ int main() {
   for (const std::size_t ci : case_ids) {
     const auto& preset = presets[ci];
     const design::Design d = design::generate_ispd_like(preset, /*seed=*/606);
-    const auto cap = d.capacities();
-    const dag::DagForest forest = dag::DagForest::build(d, {});
+    // One context per case: the DAG forest is built once and shared by the
+    // whole activation x lr x seed grid below.
+    pipeline::RoutingContext ctx(d);
+    pipeline::Pipeline pipe(ctx);
 
     std::cout << "--- case " << preset.name << " (" << preset.num_nets << " nets, "
               << d.grid().width() << "x" << d.grid().height() << ") ---\n";
@@ -63,8 +65,7 @@ int main() {
 
     // Reference mark: CUGR2-lite.
     {
-      routers::Cugr2Lite baseline(d, cap);
-      const PointMetrics pt = score(baseline.route(), cap);
+      const PointMetrics pt = score(pipe.run("cugr2-lite"));
       table.add_row({"CUGR2-lite (X)", "-", "-", eval::fmt_double(pt.x, 0),
                      eval::fmt_double(pt.y, 0)});
     }
@@ -79,17 +80,12 @@ int main() {
     for (const ad::Activation act : acts) {
       for (const double lr : lrs) {
         for (const std::uint64_t seed : seeds) {
-          core::DgrConfig config;
-          config.activation = act;
-          config.learning_rate = lr;
-          config.seed = seed;
-          config.iterations = iters;
-          config.temperature_interval = std::max(1, iters / 10);
-          core::DgrSolver solver(forest, cap, config);
-          solver.train();
-          eval::RouteSolution sol = solver.extract();
-          post::maze_refine(sol, cap);
-          const PointMetrics pt = score(sol, cap);
+          pipeline::RouterOptions ro = bench::dgr_router_options(iters);
+          ro.dgr.activation = act;
+          ro.dgr.learning_rate = lr;
+          ro.dgr.seed = seed;
+          const PointMetrics pt = score(pipe.run(
+              "dgr", ro, pipeline::StagePlan{.maze_refine = true, .layer_assign = true}));
           table.add_row({ad::activation_name(act), eval::fmt_double(lr, 2),
                          eval::fmt_int(static_cast<std::int64_t>(seed)),
                          eval::fmt_double(pt.x, 0), eval::fmt_double(pt.y, 0)});

@@ -22,8 +22,9 @@ struct Row {
 
 struct Prepared {
   std::unique_ptr<design::Design> design;
-  std::vector<float> cap;
-  std::unique_ptr<dag::DagForest> forest;
+  std::unique_ptr<pipeline::RoutingContext> ctx;
+  std::unique_ptr<pipeline::Pipeline> pipe;
+  dag::ForestOptions fopts;  ///< one L-shape per pair, no via demand (Sec. 5.1)
 };
 
 Prepared prepare(const Row& row, std::uint64_t seed) {
@@ -35,21 +36,27 @@ Prepared prepare(const Row& row, std::uint64_t seed) {
   auto inst = design::make_table1_instance(params, seed);
   Prepared out;
   out.design = std::make_unique<design::Design>(std::move(inst.design));
-  out.cap = std::move(inst.capacities);
-  dag::ForestOptions fopts;
-  fopts.tree.congestion_shifted = false;
-  fopts.via_demand_beta = 0.0f;
-  out.forest = std::make_unique<dag::DagForest>(dag::DagForest::build(*out.design, fopts));
+  // The Table 1 protocol overrides the Eq. 1 capacity model with the
+  // instance's explicit capacities and drops via demand entirely.
+  pipeline::ContextOptions copts;
+  copts.capacities = std::move(inst.capacities);
+  copts.via_beta = 0.0f;
+  out.ctx = std::make_unique<pipeline::RoutingContext>(*out.design, std::move(copts));
+  out.pipe = std::make_unique<pipeline::Pipeline>(*out.ctx);
+  out.fopts.tree.congestion_shifted = false;
   return out;
 }
 
 double run_dgr(const Prepared& p, const core::DgrConfig& config, double* seconds) {
-  util::Timer timer;
-  core::DgrSolver solver(*p.forest, p.cap, config);
-  solver.train();
-  const eval::RouteSolution sol = solver.extract();
-  if (seconds != nullptr) *seconds = timer.seconds();
-  return sol.demand(0.0f).total_overflow(p.cap);
+  pipeline::RouterOptions ro;
+  ro.dgr = config;
+  ro.forest = p.fopts;
+  const pipeline::PipelineResult r = p.pipe->run(
+      "dgr", ro, pipeline::StagePlan{.maze_refine = false, .layer_assign = false});
+  // Single-run solver time, excluding forest construction (cached in the
+  // context after the first run anyway).
+  if (seconds != nullptr) *seconds = bench::dgr_solve_seconds(r.stats);
+  return r.metrics.total_overflow;
 }
 
 }  // namespace
@@ -88,7 +95,10 @@ int main() {
       util::Timer timer;
       ilp::MilpOptions mopts;
       mopts.time_limit_seconds = bench::ilp_timeout();
-      const ilp::RoutingIlpResult r = ilp::solve_routing_ilp(*p.forest, p.cap, mopts);
+      // The ILP oracle shares the context's forest and capacities so both
+      // solvers optimise the identical discrete problem.
+      const ilp::RoutingIlpResult r =
+          ilp::solve_routing_ilp(p.ctx->forest(p.fopts), p.ctx->capacities(), mopts);
       ilp_seconds = timer.seconds();
       if (r.milp.status == ilp::LpStatus::kOptimal) {
         ilp_ok = true;

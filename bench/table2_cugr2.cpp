@@ -22,38 +22,32 @@ int main() {
 
   for (const auto& preset : presets) {
     const design::Design d = design::generate_ispd_like(preset, /*seed=*/404);
-    const auto cap = d.capacities();
+    pipeline::RoutingContext ctx(d);
+    pipeline::Pipeline pipe(ctx);
 
     // Baseline: sequential DP pattern router + RRR (CUGR2 family).
-    routers::Cugr2Lite baseline(d, cap);
-    const eval::RouteSolution bsol = baseline.route();
-    const eval::Metrics bm = eval::compute_metrics(bsol, cap);
-    const post::LayerAssignment bla = post::assign_layers(bsol, cap);
+    const pipeline::PipelineResult base = pipe.run("cugr2-lite");
 
     // DGR: concurrent differentiable optimisation + maze refinement.
-    const dag::DagForest forest = dag::DagForest::build(d, {});
-    core::DgrConfig config;
-    config.iterations = iters;
-    config.temperature_interval = std::max(1, iters / 10);
-    core::DgrSolver solver(forest, cap, config);
-    solver.train();
-    eval::RouteSolution dsol = solver.extract();
-    post::maze_refine(dsol, cap);
-    const eval::Metrics dm = eval::compute_metrics(dsol, cap);
-    const post::LayerAssignment dla = post::assign_layers(dsol, cap);
+    const pipeline::PipelineResult dgr_run =
+        pipe.run("dgr", bench::dgr_router_options(iters),
+                 pipeline::StagePlan{.maze_refine = true, .layer_assign = true});
 
-    sum_ovf[0] += static_cast<double>(bm.overflow_edges);
-    sum_ovf[1] += static_cast<double>(dm.overflow_edges);
-    sum_wl[0] += static_cast<double>(bm.wirelength);
-    sum_wl[1] += static_cast<double>(dm.wirelength);
-    sum_via[0] += static_cast<double>(bla.via_count);
-    sum_via[1] += static_cast<double>(dla.via_count);
+    sum_ovf[0] += static_cast<double>(base.metrics.overflow_edges);
+    sum_ovf[1] += static_cast<double>(dgr_run.metrics.overflow_edges);
+    sum_wl[0] += static_cast<double>(base.metrics.wirelength);
+    sum_wl[1] += static_cast<double>(dgr_run.metrics.wirelength);
+    sum_via[0] += static_cast<double>(base.layers.via_count);
+    sum_via[1] += static_cast<double>(dgr_run.layers.via_count);
 
     table.add_row({preset.name, eval::fmt_int(preset.num_nets),
                    std::to_string(d.grid().width()) + "x" + std::to_string(d.grid().height()),
-                   eval::fmt_int(bm.overflow_edges), eval::fmt_int(dm.overflow_edges),
-                   eval::fmt_int(bm.wirelength), eval::fmt_int(dm.wirelength),
-                   eval::fmt_int(bla.via_count), eval::fmt_int(dla.via_count)});
+                   eval::fmt_int(base.metrics.overflow_edges),
+                   eval::fmt_int(dgr_run.metrics.overflow_edges),
+                   eval::fmt_int(base.metrics.wirelength),
+                   eval::fmt_int(dgr_run.metrics.wirelength),
+                   eval::fmt_int(base.layers.via_count),
+                   eval::fmt_int(dgr_run.layers.via_count)});
   }
 
   table.add_separator();

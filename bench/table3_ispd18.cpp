@@ -22,12 +22,13 @@ int main() {
 
   for (const auto& preset : presets) {
     const design::Design d = design::generate_ispd_like(preset, /*seed=*/1818);
-    const auto cap = d.capacities();
+    pipeline::RoutingContext ctx(d);
+    pipeline::Pipeline pipe(ctx);
 
-    auto measure = [&](eval::RouteSolution sol, int idx, eval::Metrics* m,
+    auto measure = [&](const pipeline::PipelineResult& r, int idx, eval::Metrics* m,
                        std::int64_t* vias) {
-      *m = eval::compute_metrics(sol, cap);
-      *vias = post::assign_layers(sol, cap).via_count;
+      *m = r.metrics;
+      *vias = r.layers.via_count;
       sum_ovf[idx] += static_cast<double>(m->overflow_edges);
       sum_wl[idx] += static_cast<double>(m->wirelength);
       sum_via[idx] += static_cast<double>(*vias);
@@ -36,21 +37,11 @@ int main() {
     eval::Metrics spr{}, lag{}, dgr_m{};
     std::int64_t spr_v = 0, lag_v = 0, dgr_v = 0;
 
-    routers::SpRouteLite sproute(d, cap);
-    measure(sproute.route(), 0, &spr, &spr_v);
-
-    routers::LagrangianRouter lagr(d, cap);
-    measure(lagr.route(), 1, &lag, &lag_v);
-
-    const dag::DagForest forest = dag::DagForest::build(d, {});
-    core::DgrConfig config;
-    config.iterations = iters;
-    config.temperature_interval = std::max(1, iters / 10);
-    core::DgrSolver solver(forest, cap, config);
-    solver.train();
-    eval::RouteSolution dsol = solver.extract();
-    post::maze_refine(dsol, cap);
-    measure(std::move(dsol), 2, &dgr_m, &dgr_v);
+    measure(pipe.run("sproute-lite"), 0, &spr, &spr_v);
+    measure(pipe.run("lagrangian"), 1, &lag, &lag_v);
+    measure(pipe.run("dgr", bench::dgr_router_options(iters),
+                     pipeline::StagePlan{.maze_refine = true, .layer_assign = true}),
+            2, &dgr_m, &dgr_v);
 
     table.add_row({preset.name, eval::fmt_int(spr.overflow_edges),
                    eval::fmt_int(lag.overflow_edges), eval::fmt_int(dgr_m.overflow_edges),

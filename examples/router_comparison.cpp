@@ -1,6 +1,7 @@
-// Router comparison: runs every global router in this repo — DGR and the
-// three baseline families (CUGR2-lite, SPRoute-lite, Lagrangian) — on the
-// same generated design and prints a side-by-side quality/runtime table.
+// Router comparison: runs every global router registered in the pipeline
+// registry — DGR and the three baseline families (CUGR2-lite, SPRoute-lite,
+// Lagrangian) — on the same generated design through the same Pipeline and
+// prints a side-by-side quality/runtime table.
 //
 // Usage: example_router_comparison [num_nets] [grid] [seed]
 
@@ -26,7 +27,9 @@ int main(int argc, char** argv) {
   params.tracks_per_layer = 3;
   params.hotspot_affinity = 0.55;
   const design::Design design = design::generate_ispd_like(params, seed);
-  const std::vector<float> cap = design.capacities();
+
+  pipeline::RoutingContext ctx(design);
+  pipeline::Pipeline pipe(ctx);
 
   std::printf("design: %d nets on %dx%d, 5 layers (seed %llu)\n\n", nets, grid, grid,
               static_cast<unsigned long long>(seed));
@@ -34,40 +37,24 @@ int main(int argc, char** argv) {
   eval::TablePrinter table(
       {"router", "ovf edges", "total ovf", "WL", "vias", "time (s)"});
 
-  auto report = [&](const std::string& name, eval::RouteSolution sol, double secs) {
-    const eval::Metrics m = eval::compute_metrics(sol, cap);
-    const post::LayerAssignment la = post::assign_layers(sol, cap);
-    table.add_row({name, eval::fmt_int(m.overflow_edges),
-                   eval::fmt_double(m.total_overflow, 1), eval::fmt_int(m.wirelength),
-                   eval::fmt_int(la.via_count), eval::fmt_double(secs, 2)});
-  };
+  pipeline::RouterOptions options;
+  options.dgr.iterations = 600;
+  options.dgr.temperature_interval = 60;
 
-  {
-    util::Timer t;
-    routers::Cugr2Lite router(design, cap);
-    report("CUGR2-lite (sequential DP+RRR)", router.route(), t.seconds());
-  }
-  {
-    util::Timer t;
-    routers::SpRouteLite router(design, cap);
-    report("SPRoute-lite (PathFinder maze)", router.route(), t.seconds());
-  }
-  {
-    util::Timer t;
-    routers::LagrangianRouter router(design, cap);
-    report("Lagrangian (priced shortest paths)", router.route(), t.seconds());
-  }
-  {
-    util::Timer t;
-    const dag::DagForest forest = dag::DagForest::build(design);
-    core::DgrConfig config;
-    config.iterations = 600;
-    config.temperature_interval = 60;
-    core::DgrSolver solver(forest, cap, config);
-    solver.train();
-    eval::RouteSolution sol = solver.extract();
-    post::maze_refine(sol, cap);
-    report("DGR (differentiable, concurrent)", std::move(sol), t.seconds());
+  for (const std::string& name : pipeline::registered_routers()) {
+    const auto router = pipeline::make_router(name, options);
+    // Post-processing-only entries (maze-refine) need a prior solution;
+    // this example compares cold full routers.
+    if (router == nullptr || router->requires_warm_start()) continue;
+    // DGR is the only router the paper pairs with maze refinement.
+    const pipeline::StagePlan plan{.maze_refine = name == "dgr", .layer_assign = true};
+    const pipeline::PipelineResult r = pipe.run(*router, plan);
+    const double secs = r.stats.stage_seconds("route_total") +
+                        r.stats.stage_seconds("maze_refine");
+    table.add_row({name, eval::fmt_int(r.metrics.overflow_edges),
+                   eval::fmt_double(r.metrics.total_overflow, 1),
+                   eval::fmt_int(r.metrics.wirelength),
+                   eval::fmt_int(r.layers.via_count), eval::fmt_double(secs, 2)});
   }
 
   table.print(std::cout);

@@ -1,8 +1,9 @@
 #pragma once
-// DGR hyper-parameters. Defaults follow Section 5 of the paper:
-// ICCAD'19 metric weights (500 / 4 / 0.5), sigmoid overflow activation,
-// Adam lr 0.3, 1000 iterations, initial temperature 1 scaled by 0.9 every
-// 100 iterations, Gumbel noise on, top-p extraction.
+/// \file
+/// \brief DGR hyper-parameters. Defaults follow Section 5 of the paper:
+/// ICCAD'19 metric weights (500 / 4 / 0.5), sigmoid overflow activation,
+/// Adam lr 0.3, 1000 iterations, initial temperature 1 scaled by 0.9 every
+/// 100 iterations, Gumbel noise on, top-p extraction.
 
 #include <cstdint>
 #include <string>

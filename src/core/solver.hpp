@@ -1,13 +1,14 @@
 #pragma once
-// The differentiable global router (Sections 4.3–4.5).
-//
-// Trainables: one logit per path candidate and one per tree candidate.
-// Each iteration builds the expectation of the Eq. (3) cost on an ad::Tape
-// (Gumbel-softmax over groups -> coupled selection mass -> expected demand
-// -> activation overflow + WL + via terms), back-propagates, and takes an
-// Adam step; the temperature anneals on a fixed schedule. extract() turns
-// the optimised probabilities into a discrete RouteSolution (argmax trees,
-// top-p paths with greedy commitment).
+/// \file
+/// \brief The differentiable global router (Sections 4.3–4.5).
+///
+/// Trainables: one logit per path candidate and one per tree candidate.
+/// Each iteration builds the expectation of the Eq. (3) cost on an ad::Tape
+/// (Gumbel-softmax over groups -> coupled selection mass -> expected demand
+/// -> activation overflow + WL + via terms), back-propagates, and takes an
+/// Adam step; the temperature anneals on a fixed schedule. extract() turns
+/// the optimised probabilities into a discrete RouteSolution (argmax trees,
+/// top-p paths with greedy commitment).
 
 #include <vector>
 

@@ -33,6 +33,11 @@
 #include "ilp/branch_bound.hpp"
 #include "ilp/routing_ilp.hpp"
 #include "ilp/simplex.hpp"
+#include "pipeline/adapters.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/registry.hpp"
+#include "pipeline/router.hpp"
 #include "post/guide.hpp"
 #include "post/layer_assign.hpp"
 #include "post/maze_refine.hpp"

@@ -1,8 +1,9 @@
 #pragma once
-// Routing quality metrics matching the paper's reporting:
-//   Tables 2/3: # g-cell edges with overflow, total wirelength, # vias
-//   Fig. 6:     weighted overflow = 10*n1 + 1000*n2 + 10000*peak_overflow
-//   Table 1:    Σ_e ReLU(d_e - cap_e)
+/// \file
+/// \brief Routing quality metrics matching the paper's reporting:
+///   Tables 2/3: # g-cell edges with overflow, total wirelength, # vias;
+///   Fig. 6:     weighted overflow = 10*n1 + 1000*n2 + 10000*peak_overflow;
+///   Table 1:    Σ_e ReLU(d_e - cap_e).
 
 #include <cstdint>
 

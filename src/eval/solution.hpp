@@ -1,6 +1,8 @@
 #pragma once
-// 2D routing solutions: the common output format of DGR and every baseline
-// router in this repo, and the input to layer assignment / maze refinement.
+/// \file
+/// \brief 2D routing solutions: the common output format of DGR and every
+/// baseline router in this repo, and the input to layer assignment / maze
+/// refinement.
 
 #include <vector>
 

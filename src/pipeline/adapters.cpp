@@ -1,0 +1,145 @@
+#include "pipeline/adapters.hpp"
+
+#include <utility>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace dgr::pipeline {
+
+namespace {
+
+/// Leaves the context's live demand equal to the solution's demand so the
+/// next stage (or a warm re-entry) sees the true post-route state.
+void sync_demand(RoutingContext& ctx, const eval::RouteSolution& sol) {
+  ctx.reset_demand();
+  ctx.commit(sol);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DgrRouter
+// ---------------------------------------------------------------------------
+
+DgrRouter::DgrRouter(core::DgrConfig config, dag::ForestOptions forest)
+    : config_(config), forest_(forest) {}
+
+eval::RouteSolution DgrRouter::route(RoutingContext& ctx) {
+  reset_stats();
+  dag::ForestOptions fopts = forest_;
+  fopts.via_demand_beta = ctx.via_beta();
+
+  util::Timer timer;
+  const dag::DagForest& forest = ctx.forest(fopts);
+  stats_.add_stage("forest", timer.seconds());
+
+  core::DgrSolver solver(forest, ctx.capacities(), config_);
+  timer.reset();
+  const core::TrainStats train = solver.train();
+  stats_.add_stage("train", timer.seconds());
+
+  timer.reset();
+  eval::RouteSolution sol = solver.extract();
+  stats_.add_stage("extract", timer.seconds());
+
+  stats_.solver_bytes = forest.memory_bytes() + solver.relaxation().memory_bytes() +
+                        train.tape_bytes;
+  stats_.add_counter("iterations", static_cast<double>(train.iterations_run));
+  stats_.add_counter("final_cost", train.final_cost.total);
+  stats_.add_counter("path_candidates", static_cast<double>(forest.paths().size()));
+  sync_demand(ctx, sol);
+  return sol;
+}
+
+// ---------------------------------------------------------------------------
+// Cugr2Router
+// ---------------------------------------------------------------------------
+
+Cugr2Router::Cugr2Router(routers::Cugr2LiteOptions options) : options_(options) {}
+
+eval::RouteSolution Cugr2Router::route(RoutingContext& ctx) {
+  reset_stats();
+  routers::Cugr2LiteOptions opts = options_;
+  opts.via_beta = ctx.via_beta();
+  routers::Cugr2Lite router(ctx.design(), ctx.capacities(), opts);
+  routers::Cugr2LiteStats rs;
+  eval::RouteSolution sol = router.route(&rs, ctx.warm_start());
+  stats_.add_stage("route", rs.route_seconds);
+  stats_.add_counter("rounds", static_cast<double>(rs.rounds_run));
+  stats_.add_counter("nets_rerouted", static_cast<double>(rs.nets_rerouted));
+  stats_.add_counter("warm_started", ctx.warm_start() != nullptr ? 1.0 : 0.0);
+  sync_demand(ctx, sol);
+  return sol;
+}
+
+// ---------------------------------------------------------------------------
+// SpRouteRouter
+// ---------------------------------------------------------------------------
+
+SpRouteRouter::SpRouteRouter(routers::SpRouteLiteOptions options) : options_(options) {}
+
+eval::RouteSolution SpRouteRouter::route(RoutingContext& ctx) {
+  reset_stats();
+  routers::SpRouteLiteOptions opts = options_;
+  opts.via_beta = ctx.via_beta();
+  routers::SpRouteLite router(ctx.design(), ctx.capacities(), opts);
+  routers::SpRouteLiteStats rs;
+  eval::RouteSolution sol = router.route(&rs, ctx.warm_start());
+  stats_.add_stage("route", rs.route_seconds);
+  stats_.add_counter("rounds", static_cast<double>(rs.rounds_run));
+  stats_.add_counter("nets_rerouted", static_cast<double>(rs.reroutes));
+  stats_.add_counter("warm_started", ctx.warm_start() != nullptr ? 1.0 : 0.0);
+  sync_demand(ctx, sol);
+  return sol;
+}
+
+// ---------------------------------------------------------------------------
+// LagrangianPipelineRouter
+// ---------------------------------------------------------------------------
+
+LagrangianPipelineRouter::LagrangianPipelineRouter(routers::LagrangianOptions options)
+    : options_(options) {}
+
+eval::RouteSolution LagrangianPipelineRouter::route(RoutingContext& ctx) {
+  reset_stats();
+  routers::LagrangianOptions opts = options_;
+  opts.via_beta = ctx.via_beta();
+  routers::LagrangianRouter router(ctx.design(), ctx.capacities(), opts);
+  routers::LagrangianStats rs;
+  eval::RouteSolution sol = router.route(&rs);
+  stats_.add_stage("route", rs.route_seconds);
+  stats_.add_counter("rounds", static_cast<double>(rs.rounds_run));
+  stats_.add_counter("final_step", rs.final_step);
+  sync_demand(ctx, sol);
+  return sol;
+}
+
+// ---------------------------------------------------------------------------
+// MazeRefineRouter
+// ---------------------------------------------------------------------------
+
+MazeRefineRouter::MazeRefineRouter(post::MazeRefineOptions options) : options_(options) {}
+
+eval::RouteSolution MazeRefineRouter::route(RoutingContext& ctx) {
+  reset_stats();
+  if (ctx.warm_start() == nullptr) {
+    DGR_LOG_WARN("maze-refine router needs a warm start; returning empty solution");
+    return {};
+  }
+  eval::RouteSolution sol = *ctx.warm_start();
+  post::MazeRefineOptions opts = options_;
+  opts.via_beta = ctx.via_beta();
+  util::Timer timer;
+  const post::MazeRefineStats rs = post::maze_refine(sol, ctx.capacities(), opts);
+  stats_.add_stage("maze_refine", timer.seconds());
+  stats_.add_counter("rounds", static_cast<double>(rs.rounds_run));
+  stats_.add_counter("nets_rerouted", static_cast<double>(rs.nets_rerouted));
+  stats_.add_counter("nets_improved", static_cast<double>(rs.nets_improved));
+  stats_.add_counter("overflow_before", rs.overflow_before);
+  stats_.add_counter("overflow_after", rs.overflow_after);
+  sync_demand(ctx, sol);
+  return sol;
+}
+
+}  // namespace dgr::pipeline

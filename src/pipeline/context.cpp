@@ -1,0 +1,94 @@
+#include "pipeline/context.hpp"
+
+#include <utility>
+
+namespace dgr::pipeline {
+
+namespace {
+
+bool same_options(const rsmt::RsmtOptions& a, const rsmt::RsmtOptions& b) {
+  return a.partition_threshold == b.partition_threshold &&
+         a.one_steiner.max_candidates == b.one_steiner.max_candidates &&
+         a.one_steiner.max_steiner_points == b.one_steiner.max_steiner_points;
+}
+
+bool same_options(const dag::TreeCandidateOptions& a, const dag::TreeCandidateOptions& b) {
+  return a.congestion_shifted == b.congestion_shifted &&
+         a.trunk_topology == b.trunk_topology && a.salt_topology == b.salt_topology &&
+         a.salt_epsilon == b.salt_epsilon && a.shift_window == b.shift_window &&
+         same_options(a.rsmt, b.rsmt);
+}
+
+bool same_options(const dag::PathEnumOptions& a, const dag::PathEnumOptions& b) {
+  return a.z_samples == b.z_samples && a.c_samples == b.c_samples &&
+         a.c_detour == b.c_detour;
+}
+
+bool same_options(const dag::ForestOptions& a, const dag::ForestOptions& b) {
+  return same_options(a.tree, b.tree) && same_options(a.paths, b.paths) &&
+         a.via_demand_beta == b.via_demand_beta && a.parallel_build == b.parallel_build &&
+         a.adaptive_expansion == b.adaptive_expansion &&
+         a.adaptive_threshold == b.adaptive_threshold &&
+         a.adaptive_z_samples == b.adaptive_z_samples;
+}
+
+}  // namespace
+
+RoutingContext::RoutingContext(const design::Design& design, ContextOptions options)
+    : design_(&design),
+      options_(std::move(options)),
+      demand_(design.grid()),
+      rng_(options_.seed) {
+  capacities_ = options_.capacities.empty() ? design.capacities(options_.capacity_beta)
+                                            : options_.capacities;
+}
+
+void RoutingContext::commit(const eval::NetRoute& net, double sign) {
+  eval::RouteSolution::apply_net(demand_, *design_, net, options_.via_beta, sign);
+}
+
+void RoutingContext::commit(const eval::RouteSolution& sol, double sign) {
+  for (const eval::NetRoute& net : sol.nets) commit(net, sign);
+}
+
+void RoutingContext::set_warm_start(eval::RouteSolution prior) {
+  warm_start_ = std::move(prior);
+  has_warm_start_ = true;
+  reset_demand();
+  commit(warm_start_);
+}
+
+void RoutingContext::clear_warm_start() {
+  warm_start_ = {};
+  has_warm_start_ = false;
+}
+
+const dag::DagForest& RoutingContext::forest(const dag::ForestOptions& options) {
+  dag::ForestOptions effective = options;
+  effective.via_demand_beta = options_.via_beta;
+  if (forest_ == nullptr || !same_options(forest_options_, effective)) {
+    forest_ = std::make_unique<dag::DagForest>(dag::DagForest::build(*design_, effective));
+    forest_options_ = effective;
+  }
+  return *forest_;
+}
+
+bool RoutingContext::has_forest(const dag::ForestOptions& options) const {
+  dag::ForestOptions effective = options;
+  effective.via_demand_beta = options_.via_beta;
+  return forest_ != nullptr && same_options(forest_options_, effective);
+}
+
+eval::Metrics RoutingContext::evaluate(const eval::RouteSolution& sol) const {
+  return eval::compute_metrics(sol, capacities_, options_.via_beta);
+}
+
+double RoutingContext::weighted_overflow(const eval::RouteSolution& sol) const {
+  return eval::weighted_overflow(sol, capacities_, options_.via_beta);
+}
+
+std::int64_t RoutingContext::nets_with_overflow(const eval::RouteSolution& sol) const {
+  return eval::nets_with_overflow(sol, capacities_, options_.via_beta);
+}
+
+}  // namespace dgr::pipeline

@@ -1,0 +1,85 @@
+#include "pipeline/pipeline.hpp"
+
+#include <utility>
+
+#include "util/log.hpp"
+#include "util/memprobe.hpp"
+#include "util/timer.hpp"
+
+namespace dgr::pipeline {
+
+Pipeline::Pipeline(RoutingContext& ctx, PipelineOptions options)
+    : ctx_(&ctx), options_(options) {}
+
+PipelineResult Pipeline::run(Router& router, const StagePlan& plan) {
+  ctx_->clear_warm_start();
+  return run_stages(router, plan);
+}
+
+PipelineResult Pipeline::run(const std::string& router_name, const RouterOptions& options,
+                             const StagePlan& plan) {
+  const std::unique_ptr<Router> router = make_router(router_name, options);
+  if (router == nullptr) {
+    DGR_LOG_ERROR("pipeline: no router registered under '%s'", router_name.c_str());
+    return {};
+  }
+  return run(*router, plan);
+}
+
+PipelineResult Pipeline::rerun(Router& router, eval::RouteSolution prior,
+                               const StagePlan& plan) {
+  ctx_->set_warm_start(std::move(prior));
+  return run_stages(router, plan);
+}
+
+PipelineResult Pipeline::rerun(const std::string& router_name, eval::RouteSolution prior,
+                               const RouterOptions& options, const StagePlan& plan) {
+  const std::unique_ptr<Router> router = make_router(router_name, options);
+  if (router == nullptr) {
+    DGR_LOG_ERROR("pipeline: no router registered under '%s'", router_name.c_str());
+    return {};
+  }
+  return rerun(*router, std::move(prior), plan);
+}
+
+PipelineResult Pipeline::run_stages(Router& router, const StagePlan& plan) {
+  PipelineResult result;
+
+  util::Timer timer;
+  result.solution = router.route(*ctx_);
+  const double route_seconds = timer.seconds();
+
+  // Distinct from the adapters' engine-internal "route" stage so
+  // stage_seconds("route") keeps meaning engine time only.
+  result.stats = router.stats();
+  result.stats.add_stage("route_total", route_seconds);
+
+  if (plan.maze_refine) {
+    post::MazeRefineOptions refine = options_.refine;
+    refine.via_beta = ctx_->via_beta();
+    timer.reset();
+    result.refine = post::maze_refine(result.solution, ctx_->capacities(), refine);
+    result.stats.add_stage("maze_refine", timer.seconds());
+    // Refinement moved wires; re-sync the context's live demand.
+    ctx_->reset_demand();
+    ctx_->commit(result.solution);
+  }
+
+  if (plan.layer_assign) {
+    timer.reset();
+    result.layers = post::assign_layers(result.solution, ctx_->capacities(),
+                                        options_.layers);
+    result.stats.add_stage("layer_assign", timer.seconds());
+  }
+
+  timer.reset();
+  result.metrics = ctx_->evaluate(result.solution);
+  result.weighted_overflow = ctx_->weighted_overflow(result.solution);
+  result.nets_with_overflow = ctx_->nets_with_overflow(result.solution);
+  result.stats.add_stage("eval", timer.seconds());
+
+  result.stats.peak_rss_bytes = util::peak_rss_bytes();
+  return result;
+}
+
+}  // namespace dgr::pipeline

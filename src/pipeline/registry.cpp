@@ -1,0 +1,59 @@
+#include "pipeline/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace dgr::pipeline {
+
+namespace {
+
+using FactoryMap = std::map<std::string, RouterFactory>;
+
+/// Function-local static so the built-ins are registered on first use,
+/// immune to static-initialisation-order issues.
+FactoryMap& factories() {
+  static FactoryMap map = [] {
+    FactoryMap m;
+    m["dgr"] = [](const RouterOptions& o) -> std::unique_ptr<Router> {
+      return std::make_unique<DgrRouter>(o.dgr, o.forest);
+    };
+    m["cugr2-lite"] = [](const RouterOptions& o) -> std::unique_ptr<Router> {
+      return std::make_unique<Cugr2Router>(o.cugr2);
+    };
+    m["sproute-lite"] = [](const RouterOptions& o) -> std::unique_ptr<Router> {
+      return std::make_unique<SpRouteRouter>(o.sproute);
+    };
+    m["lagrangian"] = [](const RouterOptions& o) -> std::unique_ptr<Router> {
+      return std::make_unique<LagrangianPipelineRouter>(o.lagrangian);
+    };
+    m["maze-refine"] = [](const RouterOptions& o) -> std::unique_ptr<Router> {
+      return std::make_unique<MazeRefineRouter>(o.refine);
+    };
+    return m;
+  }();
+  return map;
+}
+
+}  // namespace
+
+void register_router(const std::string& name, RouterFactory factory) {
+  factories()[name] = std::move(factory);
+}
+
+std::unique_ptr<Router> make_router(const std::string& name, const RouterOptions& options) {
+  const FactoryMap& map = factories();
+  const auto it = map.find(name);
+  if (it == map.end()) return nullptr;
+  return it->second(options);
+}
+
+std::vector<std::string> registered_routers() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : factories()) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+bool has_router(const std::string& name) { return factories().count(name) != 0; }
+
+}  // namespace dgr::pipeline

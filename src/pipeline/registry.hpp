@@ -1,0 +1,36 @@
+#pragma once
+/// \file
+/// String -> factory router registry for config-driven engine selection.
+///
+/// The four built-in router families plus the maze-refinement stage are
+/// pre-registered under "dgr", "cugr2-lite", "sproute-lite", "lagrangian"
+/// and "maze-refine"; additional engines can be registered at runtime.
+/// Factories receive a RouterOptions bundle so harnesses drive every
+/// engine's configuration through one struct.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/adapters.hpp"
+
+namespace dgr::pipeline {
+
+using RouterFactory =
+    std::function<std::unique_ptr<Router>(const RouterOptions& options)>;
+
+/// Registers (or replaces) a factory under `name`.
+void register_router(const std::string& name, RouterFactory factory);
+
+/// Instantiates the router registered under `name`; nullptr when unknown.
+std::unique_ptr<Router> make_router(const std::string& name,
+                                    const RouterOptions& options = {});
+
+/// All registered names, sorted (built-ins included).
+std::vector<std::string> registered_routers();
+
+/// Whether `name` resolves to a registered factory.
+bool has_router(const std::string& name);
+
+}  // namespace dgr::pipeline

@@ -1,0 +1,36 @@
+#include "pipeline/router.hpp"
+
+#include <utility>
+
+namespace dgr::pipeline {
+
+void RouterStats::add_stage(std::string stage, double seconds) {
+  stages.push_back({std::move(stage), seconds});
+}
+
+void RouterStats::add_counter(std::string name, double value) {
+  counters.emplace_back(std::move(name), value);
+}
+
+double RouterStats::stage_seconds(std::string_view stage) const {
+  double total = 0.0;
+  for (const StageTime& s : stages) {
+    if (s.stage == stage) total += s.seconds;
+  }
+  return total;
+}
+
+double RouterStats::total_seconds() const {
+  double total = 0.0;
+  for (const StageTime& s : stages) total += s.seconds;
+  return total;
+}
+
+double RouterStats::counter(std::string_view name, double fallback) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+}  // namespace dgr::pipeline

@@ -1,0 +1,83 @@
+#pragma once
+/// \file
+/// The abstract Router interface and the uniform RouterStats record.
+///
+/// Every global router in the repo — DGR and the three baseline families —
+/// is exposed as a Router: route(RoutingContext&) -> eval::RouteSolution.
+/// Routers report a common RouterStats (per-stage wall time, peak memory,
+/// named counters) so the bench harnesses compare all engines through one
+/// code path instead of four bespoke stats structs.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/solution.hpp"
+#include "pipeline/context.hpp"
+
+namespace dgr::pipeline {
+
+/// Wall time of one named stage of a routing run (e.g. "forest", "train",
+/// "route", "maze_refine", "layer_assign", "eval").
+struct StageTime {
+  std::string stage;
+  double seconds = 0.0;
+};
+
+/// Uniform per-run statistics: what every harness needs from every router.
+struct RouterStats {
+  std::string router;            ///< registry name of the router that ran
+  std::vector<StageTime> stages; ///< per-stage wall time, in execution order
+  /// Router-specific numeric counters (rounds run, nets rerouted, ...),
+  /// uniformly typed so harnesses can print them without downcasting.
+  std::vector<std::pair<std::string, double>> counters;
+  std::size_t peak_rss_bytes = 0;  ///< process peak RSS after the run
+  /// Solver-retained bytes (forest + relaxation + tape) — DGR's
+  /// "GPU memory" proxy of Fig. 5b; 0 for the combinatorial routers.
+  std::size_t solver_bytes = 0;
+
+  void add_stage(std::string stage, double seconds);
+  void add_counter(std::string name, double value);
+  /// Seconds of the named stage; 0 when the stage did not run.
+  double stage_seconds(std::string_view stage) const;
+  /// Sum over all recorded stages.
+  double total_seconds() const;
+  double counter(std::string_view name, double fallback = 0.0) const;
+};
+
+/// Abstract interchangeable routing engine. Implementations adapt the
+/// concrete routers (core::DgrSolver + extraction, routers::Cugr2Lite,
+/// routers::SpRouteLite, routers::LagrangianRouter, post::maze_refine) to
+/// the shared RoutingContext; see pipeline/adapters.hpp.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Registry name ("dgr", "cugr2-lite", "sproute-lite", "lagrangian",
+  /// "maze-refine").
+  virtual std::string_view name() const = 0;
+
+  /// Whether route() resumes from ctx.warm_start() when one is set.
+  /// Routers without warm-start support simply route cold.
+  virtual bool supports_warm_start() const { return false; }
+  /// Whether route() is only meaningful with a warm start (refinement
+  /// stages); such routers return an empty solution when routed cold.
+  virtual bool requires_warm_start() const { return false; }
+
+  /// Routes the context's design. Leaves the context's live demand equal to
+  /// the returned solution's demand and refreshes stats().
+  virtual eval::RouteSolution route(RoutingContext& ctx) = 0;
+
+  const RouterStats& stats() const { return stats_; }
+
+ protected:
+  /// Called by implementations at the top of route().
+  void reset_stats() {
+    stats_ = {};
+    stats_.router = std::string(name());
+  }
+
+  RouterStats stats_;
+};
+
+}  // namespace dgr::pipeline

@@ -79,13 +79,28 @@ NetRoute Cugr2Lite::route_net(std::size_t design_net, bool allow_maze) {
   return route;
 }
 
-RouteSolution Cugr2Lite::route(Cugr2LiteStats* stats) {
+RouteSolution Cugr2Lite::route(Cugr2LiteStats* stats, const RouteSolution* warm_start) {
   util::Timer timer;
   demand_.clear();
   RouteSolution sol;
   sol.design = &design_;
   const auto& routable = design_.routable_nets();
   sol.nets.resize(routable.size());
+
+  // Warm start: adopt the prior solution's routes (same-design solutions
+  // only) so the run is pure rip-up-and-reroute from that state.
+  std::vector<char> seeded(routable.size(), 0);
+  if (warm_start != nullptr && warm_start->design == &design_) {
+    std::vector<std::size_t> slot_of(design_.net_count(), routable.size());
+    for (std::size_t i = 0; i < routable.size(); ++i) slot_of[routable[i]] = i;
+    for (const NetRoute& net : warm_start->nets) {
+      const std::size_t slot = slot_of[net.design_net];
+      if (slot == routable.size() || net.paths.empty()) continue;
+      sol.nets[slot] = net;
+      RouteSolution::apply_net(demand_, design_, sol.nets[slot], options_.via_beta, +1.0);
+      seeded[slot] = 1;
+    }
+  }
 
   // Initial sequential pass: short nets first (they have the least routing
   // flexibility, the classic sequential ordering heuristic).
@@ -100,6 +115,7 @@ RouteSolution Cugr2Lite::route(Cugr2LiteStats* stats) {
 
   std::int64_t rerouted = 0;
   for (const std::size_t i : order) {
+    if (seeded[i]) continue;
     sol.nets[i] = route_net(routable[i], /*allow_maze=*/false);
     RouteSolution::apply_net(demand_, design_, sol.nets[i], options_.via_beta, +1.0);
     ++rerouted;

@@ -40,7 +40,12 @@ class Cugr2Lite {
   Cugr2Lite(const design::Design& design, std::vector<float> capacities,
             Cugr2LiteOptions options = {});
 
-  eval::RouteSolution route(Cugr2LiteStats* stats = nullptr);
+  /// Routes every routable net. When `warm_start` is a solution of the same
+  /// design, its routes seed the initial state (nets it misses are routed
+  /// cold) and the run proceeds straight to rip-up-and-reroute — the
+  /// pipeline-level RRR re-entry hook.
+  eval::RouteSolution route(Cugr2LiteStats* stats = nullptr,
+                            const eval::RouteSolution* warm_start = nullptr);
 
  private:
   /// Routes one net's sub-nets against the current demand; returns the route.

@@ -71,7 +71,7 @@ NetRoute SpRouteLite::route_net(std::size_t design_net) {
   return route;
 }
 
-RouteSolution SpRouteLite::route(SpRouteLiteStats* stats) {
+RouteSolution SpRouteLite::route(SpRouteLiteStats* stats, const RouteSolution* warm_start) {
   util::Timer timer;
   demand_.clear();
   std::fill(history_.begin(), history_.end(), 0.0);
@@ -81,8 +81,24 @@ RouteSolution SpRouteLite::route(SpRouteLiteStats* stats) {
   const auto& routable = design_.routable_nets();
   sol.nets.resize(routable.size());
 
+  // Warm start: adopt the prior solution's routes (same-design solutions
+  // only); negotiation then rips up only what still overflows.
+  std::vector<char> seeded(routable.size(), 0);
+  if (warm_start != nullptr && warm_start->design == &design_) {
+    std::vector<std::size_t> slot_of(design_.net_count(), routable.size());
+    for (std::size_t i = 0; i < routable.size(); ++i) slot_of[routable[i]] = i;
+    for (const NetRoute& net : warm_start->nets) {
+      const std::size_t slot = slot_of[net.design_net];
+      if (slot == routable.size() || net.paths.empty()) continue;
+      sol.nets[slot] = net;
+      RouteSolution::apply_net(demand_, design_, sol.nets[slot], options_.via_beta, +1.0);
+      seeded[slot] = 1;
+    }
+  }
+
   std::int64_t reroutes = 0;
   for (std::size_t i = 0; i < routable.size(); ++i) {
+    if (seeded[i]) continue;
     sol.nets[i] = route_net(routable[i]);
     RouteSolution::apply_net(demand_, design_, sol.nets[i], options_.via_beta, +1.0);
     ++reroutes;

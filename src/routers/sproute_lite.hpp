@@ -34,7 +34,12 @@ class SpRouteLite {
   SpRouteLite(const design::Design& design, std::vector<float> capacities,
               SpRouteLiteOptions options = {});
 
-  eval::RouteSolution route(SpRouteLiteStats* stats = nullptr);
+  /// Routes every routable net. When `warm_start` is a solution of the same
+  /// design, its routes seed the initial state (nets it misses are routed
+  /// cold) and negotiation resumes from there — the pipeline-level
+  /// rip-up-and-reroute re-entry hook.
+  eval::RouteSolution route(SpRouteLiteStats* stats = nullptr,
+                            const eval::RouteSolution* warm_start = nullptr);
 
  private:
   eval::NetRoute route_net(std::size_t design_net);

@@ -1,30 +1,33 @@
 // End-to-end integration tests: the full DGR pipeline against the exact ILP
 // oracle (the Table 1 claim at test scale), against the sequential baselines
 // on congested cases (the Table 2/3 claim in miniature), and through the
-// complete post-processing stack.
+// complete post-processing stack. All routers are constructed through the
+// pipeline registry; the ILP oracle shares the context's forest/capacities.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 
-#include "core/solver.hpp"
 #include "design/generator.hpp"
 #include "design/io.hpp"
-#include "eval/metrics.hpp"
 #include "ilp/routing_ilp.hpp"
-#include "post/layer_assign.hpp"
-#include "post/maze_refine.hpp"
-#include "routers/cugr2lite.hpp"
+#include "pipeline/adapters.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/pipeline.hpp"
 #include "util/log.hpp"
 
 namespace dgr {
 namespace {
 
+const pipeline::StagePlan kRouteOnly{.maze_refine = false, .layer_assign = false};
+
 struct Table1Case {
   std::unique_ptr<design::Design> design;
-  std::vector<float> cap;
-  std::unique_ptr<dag::DagForest> forest;
+  std::unique_ptr<pipeline::RoutingContext> ctx;
+  std::unique_ptr<pipeline::Pipeline> pipe;
+  dag::ForestOptions fopts;  ///< one L-shape per pair, no via demand
 };
 
 Table1Case make_case(int grid, int cap_val, int nets, int box, std::uint64_t seed) {
@@ -36,11 +39,12 @@ Table1Case make_case(int grid, int cap_val, int nets, int box, std::uint64_t see
   auto inst = design::make_table1_instance(params, seed);
   Table1Case c;
   c.design = std::make_unique<design::Design>(std::move(inst.design));
-  c.cap = std::move(inst.capacities);
-  dag::ForestOptions fopts;
-  fopts.tree.congestion_shifted = false;
-  fopts.via_demand_beta = 0.0f;
-  c.forest = std::make_unique<dag::DagForest>(dag::DagForest::build(*c.design, fopts));
+  pipeline::ContextOptions copts;
+  copts.capacities = std::move(inst.capacities);
+  copts.via_beta = 0.0f;
+  c.ctx = std::make_unique<pipeline::RoutingContext>(*c.design, std::move(copts));
+  c.pipe = std::make_unique<pipeline::Pipeline>(*c.ctx);
+  c.fopts.tree.congestion_shifted = false;
   return c;
 }
 
@@ -57,22 +61,30 @@ core::DgrConfig table1_config(int iters = 400) {
   return config;
 }
 
+pipeline::RouterOptions table1_router_options(const Table1Case& c, int iters = 400) {
+  pipeline::RouterOptions ro;
+  ro.dgr = table1_config(iters);
+  ro.forest = c.fopts;
+  return ro;
+}
+
 class DgrMatchesIlp : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DgrMatchesIlp, OnSmallTable1Instances) {
   Table1Case c = make_case(12, 1, 10, 5, GetParam());
-  // Exact optimum.
+  // Exact optimum, on the identical candidate forest the DGR run uses.
   ilp::MilpOptions mopts;
   mopts.time_limit_seconds = 60.0;
-  const ilp::RoutingIlpResult ilp_result = ilp::solve_routing_ilp(*c.forest, c.cap, mopts);
+  const ilp::RoutingIlpResult ilp_result =
+      ilp::solve_routing_ilp(c.ctx->forest(c.fopts), c.ctx->capacities(), mopts);
   ASSERT_EQ(ilp_result.milp.status, ilp::LpStatus::kOptimal);
 
-  // DGR.
-  core::DgrSolver solver(*c.forest, c.cap, table1_config());
-  solver.train();
-  const eval::RouteSolution sol = solver.extract();
-  EXPECT_TRUE(sol.connects_all_pins());
-  const double dgr_overflow = sol.demand(0.0f).total_overflow(c.cap);
+  // DGR through the pipeline; the context's via_beta = 0 makes
+  // metrics.total_overflow exactly the Table 1 objective.
+  const pipeline::PipelineResult r =
+      c.pipe->run("dgr", table1_router_options(c), kRouteOnly);
+  EXPECT_TRUE(r.solution.connects_all_pins());
+  const double dgr_overflow = r.metrics.total_overflow;
 
   // The paper's Table 1 shows DGR matching ILP on these instances; allow a
   // whisker of slack for the stochastic optimiser at test iteration counts.
@@ -94,16 +106,16 @@ TEST(Integration, DgrBeatsGreedyOnConflictLadder) {
     nets.push_back({"n" + std::to_string(i), {{0, 0}, {7, 7}}});
   }
   auto d = std::make_unique<design::Design>("ladder", std::move(grid), std::move(nets));
-  std::vector<float> cap(static_cast<std::size_t>(d->grid().edge_count()), 3.0f);
-  dag::ForestOptions fopts;
-  fopts.tree.congestion_shifted = false;
-  fopts.via_demand_beta = 0.0f;
-  const dag::DagForest forest = dag::DagForest::build(*d, fopts);
-  core::DgrConfig config = table1_config(500);
-  core::DgrSolver solver(forest, cap, config);
-  solver.train();
-  const eval::RouteSolution sol = solver.extract();
-  EXPECT_DOUBLE_EQ(sol.demand(0.0f).total_overflow(cap), 0.0);
+  pipeline::ContextOptions copts;
+  copts.capacities.assign(static_cast<std::size_t>(d->grid().edge_count()), 3.0f);
+  copts.via_beta = 0.0f;
+  pipeline::RoutingContext ctx(*d, std::move(copts));
+  pipeline::Pipeline pipe(ctx);
+  pipeline::RouterOptions ro;
+  ro.dgr = table1_config(500);
+  ro.forest.tree.congestion_shifted = false;
+  const pipeline::PipelineResult r = pipe.run("dgr", ro, kRouteOnly);
+  EXPECT_DOUBLE_EQ(r.metrics.total_overflow, 0.0);
 }
 
 TEST(Integration, DgrCompetitiveWithCugr2LiteOnCongestedCase) {
@@ -116,26 +128,23 @@ TEST(Integration, DgrCompetitiveWithCugr2LiteOnCongestedCase) {
   p.hotspots = 2;
   p.hotspot_affinity = 0.65;
   const design::Design d = design::generate_ispd_like(p, 909);
-  const auto cap = d.capacities();
+  pipeline::RoutingContext ctx(d);
+  pipeline::Pipeline pipe(ctx);
 
-  routers::Cugr2Lite baseline(d, cap);
-  const eval::Metrics mb = eval::compute_metrics(baseline.route(), cap);
+  const pipeline::PipelineResult base = pipe.run("cugr2-lite", {}, kRouteOnly);
 
-  const dag::DagForest forest = dag::DagForest::build(d, {});
-  core::DgrConfig config;
-  config.iterations = 300;
-  config.temperature_interval = 60;
-  core::DgrSolver solver(forest, cap, config);
-  solver.train();
-  eval::RouteSolution sol = solver.extract();
-  post::maze_refine(sol, cap);
-  const eval::Metrics md = eval::compute_metrics(sol, cap);
+  pipeline::RouterOptions ro;
+  ro.dgr.iterations = 300;
+  ro.dgr.temperature_interval = 60;
+  const pipeline::PipelineResult dgr_run = pipe.run(
+      "dgr", ro, pipeline::StagePlan{.maze_refine = true, .layer_assign = false});
 
   // The paper's headline: DGR mitigates overflow relative to CUGR2. At test
   // scale we assert it is at least competitive (<= baseline + small slack).
-  EXPECT_LE(md.overflow_edges, mb.overflow_edges + 3)
-      << "DGR " << md.overflow_edges << " vs CUGR2-lite " << mb.overflow_edges;
-  EXPECT_TRUE(sol.connects_all_pins());
+  EXPECT_LE(dgr_run.metrics.overflow_edges, base.metrics.overflow_edges + 3)
+      << "DGR " << dgr_run.metrics.overflow_edges << " vs CUGR2-lite "
+      << base.metrics.overflow_edges;
+  EXPECT_TRUE(dgr_run.solution.connects_all_pins());
 }
 
 TEST(Integration, FullPipelineProducesThreeDMetrics) {
@@ -144,21 +153,19 @@ TEST(Integration, FullPipelineProducesThreeDMetrics) {
   p.grid_w = p.grid_h = 20;
   p.layers = 5;
   const design::Design d = design::generate_ispd_like(p, 31);
-  const auto cap = d.capacities();
-  const dag::DagForest forest = dag::DagForest::build(d, {});
-  core::DgrConfig config;
-  config.iterations = 120;
-  config.temperature_interval = 30;
-  core::DgrSolver solver(forest, cap, config);
-  const core::TrainStats ts = solver.train();
-  EXPECT_GT(ts.tape_bytes, 0u);
-  eval::RouteSolution sol = solver.extract();
-  post::maze_refine(sol, cap);
-  const post::LayerAssignment la = post::assign_layers(sol, cap);
-  EXPECT_GT(la.via_count, 0);
-  const eval::Metrics m = eval::compute_metrics(sol, cap);
-  EXPECT_GT(m.wirelength, 0);
-  EXPECT_GE(eval::weighted_overflow(sol, cap), 0.0);
+  pipeline::RoutingContext ctx(d);
+  pipeline::Pipeline pipe(ctx);
+  pipeline::RouterOptions ro;
+  ro.dgr.iterations = 120;
+  ro.dgr.temperature_interval = 30;
+  const pipeline::PipelineResult r = pipe.run(
+      "dgr", ro, pipeline::StagePlan{.maze_refine = true, .layer_assign = true});
+  EXPECT_GT(r.stats.solver_bytes, 0u);  // forest + relaxation + AD tape
+  EXPECT_GT(r.layers.via_count, 0);
+  EXPECT_GT(r.metrics.wirelength, 0);
+  EXPECT_GE(r.weighted_overflow, 0.0);
+  EXPECT_GT(r.stats.stage_seconds("train"), 0.0);
+  EXPECT_GT(r.stats.stage_seconds("eval"), 0.0);
 }
 
 TEST(Integration, SavedDesignReproducesRoutingRun) {
@@ -171,14 +178,11 @@ TEST(Integration, SavedDesignReproducesRoutingRun) {
   const design::Design r = design::read_design(ss);
 
   auto run = [](const design::Design& dd) {
-    const auto cap = dd.capacities();
-    const dag::DagForest forest = dag::DagForest::build(dd, {});
-    core::DgrConfig config;
-    config.iterations = 50;
-    core::DgrSolver solver(forest, cap, config);
-    solver.train();
-    const eval::RouteSolution sol = solver.extract();
-    return eval::compute_metrics(sol, cap);
+    pipeline::RoutingContext ctx(dd);
+    pipeline::Pipeline pipe(ctx);
+    pipeline::RouterOptions ro;
+    ro.dgr.iterations = 50;
+    return pipe.run("dgr", ro, kRouteOnly).metrics;
   };
   const eval::Metrics a = run(d);
   const eval::Metrics b = run(r);
@@ -193,11 +197,9 @@ TEST(Integration, SeedSpreadIsTightOnTable1Protocol) {
   Table1Case c = make_case(10, 2, 8, 4, 99);
   std::vector<double> results;
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-    core::DgrConfig config = table1_config(300);
-    config.seed = seed;
-    core::DgrSolver solver(*c.forest, c.cap, config);
-    solver.train();
-    results.push_back(solver.extract().demand(0.0f).total_overflow(c.cap));
+    pipeline::RouterOptions ro = table1_router_options(c, 300);
+    ro.dgr.seed = seed;
+    results.push_back(c.pipe->run("dgr", ro, kRouteOnly).metrics.total_overflow);
   }
   const double spread = *std::max_element(results.begin(), results.end()) -
                         *std::min_element(results.begin(), results.end());

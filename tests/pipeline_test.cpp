@@ -1,0 +1,296 @@
+// Pipeline layer tests: RoutingContext bookkeeping, the router registry,
+// the stage orchestrator, warm-start semantics, and the cross-router
+// differential test — every registered router, run through the same
+// Pipeline on a small seeded design, must return a fully connected,
+// direction-legal solution whose metrics come from the shared eval stage.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "design/generator.hpp"
+#include "eval/metrics.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/registry.hpp"
+#include "util/log.hpp"
+
+namespace dgr::pipeline {
+namespace {
+
+design::Design small_design(std::uint64_t seed = 4242) {
+  design::IspdLikeParams p;
+  p.name = "pipeline_small";
+  p.grid_w = p.grid_h = 16;
+  p.num_nets = 120;
+  p.layers = 5;
+  p.tracks_per_layer = 3;
+  p.hotspot_affinity = 0.5;
+  return design::generate_ispd_like(p, seed);
+}
+
+/// Fast DGR settings for tests (the default 1000 iterations is bench-scale).
+RouterOptions fast_options() {
+  RouterOptions o;
+  o.dgr.iterations = 80;
+  o.dgr.temperature_interval = 20;
+  return o;
+}
+
+/// Direction legality: every path has >= 2 waypoints, consecutive waypoints
+/// are axis-aligned (H/V legs only), all waypoints are on the grid, and the
+/// walked edges resolve to valid edge ids.
+void expect_direction_legal(const eval::RouteSolution& sol, const grid::GCellGrid& grid) {
+  for (const eval::NetRoute& net : sol.nets) {
+    for (const dag::PatternPath& path : net.paths) {
+      ASSERT_GE(path.waypoints.size(), 2u);
+      for (std::size_t i = 0; i + 1 < path.waypoints.size(); ++i) {
+        const geom::Point a = path.waypoints[i];
+        const geom::Point b = path.waypoints[i + 1];
+        EXPECT_TRUE(grid.in_bounds(a));
+        EXPECT_TRUE(grid.in_bounds(b));
+        EXPECT_TRUE(a.x == b.x || a.y == b.y)
+            << "diagonal leg (" << a.x << "," << a.y << ")-(" << b.x << "," << b.y << ")";
+      }
+      for (const grid::EdgeId e : path.edges(grid)) {
+        EXPECT_GE(e, 0);
+        EXPECT_LT(e, grid.edge_count());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RoutingContext
+// ---------------------------------------------------------------------------
+
+TEST(RoutingContext, DerivesEq1CapacitiesByDefault) {
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  EXPECT_EQ(ctx.capacities(), d.capacities());
+  EXPECT_EQ(ctx.capacities().size(), static_cast<std::size_t>(d.grid().edge_count()));
+}
+
+TEST(RoutingContext, ExplicitCapacitiesOverrideEq1) {
+  const design::Design d = small_design();
+  ContextOptions opts;
+  opts.capacities.assign(static_cast<std::size_t>(d.grid().edge_count()), 7.0f);
+  RoutingContext ctx(d, opts);
+  EXPECT_FLOAT_EQ(ctx.capacities().front(), 7.0f);
+  EXPECT_FLOAT_EQ(ctx.capacities().back(), 7.0f);
+}
+
+TEST(RoutingContext, CommitUncommitIsSymmetric) {
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  Cugr2Router router;
+  const eval::RouteSolution sol = router.route(ctx);
+  // route() leaves the live demand equal to the solution's demand.
+  const grid::DemandMap reference = sol.demand(ctx.via_beta());
+  ASSERT_EQ(ctx.demand().raw().size(), reference.raw().size());
+  for (std::size_t e = 0; e < reference.raw().size(); ++e) {
+    EXPECT_NEAR(ctx.demand().raw()[e], reference.raw()[e], 1e-9);
+  }
+  ctx.commit(sol, -1.0);
+  for (const double v : ctx.demand().raw()) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(RoutingContext, ForestIsCachedPerOptions) {
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  dag::ForestOptions opts;
+  const dag::DagForest& a = ctx.forest(opts);
+  const dag::DagForest& b = ctx.forest(opts);
+  EXPECT_EQ(&a, &b);
+  EXPECT_TRUE(ctx.has_forest(opts));
+  // Rebuilding with different options frees the cached forest, so read
+  // everything needed from `a` before requesting the other variant.
+  const std::size_t base_paths = a.paths().size();
+  dag::ForestOptions other = opts;
+  other.paths.z_samples = 2;
+  EXPECT_FALSE(ctx.has_forest(other));
+  const dag::DagForest& c = ctx.forest(other);
+  EXPECT_GT(c.paths().size(), base_paths);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, ResolvesAllFourRoutersByName) {
+  for (const char* name : {"dgr", "cugr2-lite", "sproute-lite", "lagrangian"}) {
+    EXPECT_TRUE(has_router(name)) << name;
+    const std::unique_ptr<Router> r = make_router(name);
+    ASSERT_NE(r, nullptr) << name;
+    EXPECT_EQ(r->name(), name);
+    EXPECT_FALSE(r->requires_warm_start()) << name;
+  }
+  EXPECT_TRUE(has_router("maze-refine"));
+  EXPECT_TRUE(make_router("maze-refine")->requires_warm_start());
+}
+
+TEST(Registry, UnknownNameReturnsNull) {
+  EXPECT_FALSE(has_router("no-such-router"));
+  EXPECT_EQ(make_router("no-such-router"), nullptr);
+}
+
+TEST(Registry, CustomRegistrationIsVisible) {
+  register_router("custom-cugr2", [](const RouterOptions& o) {
+    return std::make_unique<Cugr2Router>(o.cugr2);
+  });
+  EXPECT_TRUE(has_router("custom-cugr2"));
+  const auto names = registered_routers();
+  EXPECT_NE(std::find(names.begin(), names.end(), "custom-cugr2"), names.end());
+  EXPECT_NE(make_router("custom-cugr2"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-router differential test (satellite): same design, same Pipeline,
+// shared eval stage, for every registered router.
+// ---------------------------------------------------------------------------
+
+TEST(Differential, EveryRegisteredRouterRoutesTheSameDesignLegally) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const design::Design d = small_design(/*seed=*/777);
+  RoutingContext ctx(d);
+  Pipeline pipe(ctx);
+
+  eval::RouteSolution first_cold;  // feeds warm-start-only routers below
+  for (const std::string& name : registered_routers()) {
+    const std::unique_ptr<Router> router = make_router(name, fast_options());
+    ASSERT_NE(router, nullptr) << name;
+
+    PipelineResult result;
+    if (router->requires_warm_start()) {
+      ASSERT_FALSE(first_cold.nets.empty());
+      result = pipe.rerun(*router, first_cold);
+    } else {
+      result = pipe.run(*router);
+      if (first_cold.nets.empty()) first_cold = result.solution;
+    }
+
+    // Fully connected and direction-legal.
+    ASSERT_EQ(result.solution.nets.size(), d.routable_nets().size()) << name;
+    EXPECT_TRUE(result.solution.connects_all_pins()) << name;
+    expect_direction_legal(result.solution, d.grid());
+
+    // Metrics come from the shared eval stage and are self-consistent.
+    const eval::Metrics check =
+        eval::compute_metrics(result.solution, ctx.capacities(), ctx.via_beta());
+    EXPECT_EQ(result.metrics.wirelength, check.wirelength) << name;
+    EXPECT_EQ(result.metrics.overflow_edges, check.overflow_edges) << name;
+    EXPECT_EQ(result.metrics.bends, check.bends) << name;
+    EXPECT_GT(result.metrics.wirelength, 0) << name;
+    EXPECT_GE(result.weighted_overflow, 0.0) << name;
+
+    // Uniform stats: named router, at least one timed stage, 3D metrics.
+    // (Registry keys may alias an adapter, so compare against the adapter's
+    // own name rather than the lookup key.)
+    EXPECT_EQ(result.stats.router, router->name());
+    EXPECT_FALSE(result.stats.stages.empty()) << name;
+    EXPECT_GT(result.stats.stage_seconds("route_total"), 0.0) << name;
+    EXPECT_GT(result.layers.via_count, 0) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stage orchestration + stats
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, DgrRunReportsPerStageTimesAndSolverBytes) {
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  Pipeline pipe(ctx);
+  const PipelineResult r =
+      pipe.run("dgr", fast_options(), StagePlan{.maze_refine = true, .layer_assign = true});
+  EXPECT_EQ(r.stats.router, "dgr");
+  for (const char* stage : {"forest", "train", "extract", "maze_refine", "layer_assign"}) {
+    bool found = false;
+    for (const auto& s : r.stats.stages) found |= (s.stage == stage);
+    EXPECT_TRUE(found) << stage;
+  }
+  EXPECT_GT(r.stats.stage_seconds("train"), 0.0);
+  EXPECT_GT(r.stats.solver_bytes, 0u);
+  EXPECT_GT(r.stats.peak_rss_bytes, 0u);
+  EXPECT_GT(r.stats.counter("iterations"), 0.0);
+  EXPECT_GE(r.stats.total_seconds(), r.stats.stage_seconds("train"));
+  EXPECT_TRUE(r.solution.connects_all_pins());
+}
+
+TEST(Pipeline, StagePlanSkipsOptionalStages) {
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  Pipeline pipe(ctx);
+  const PipelineResult r =
+      pipe.run("cugr2-lite", {}, StagePlan{.maze_refine = false, .layer_assign = false});
+  EXPECT_DOUBLE_EQ(r.stats.stage_seconds("maze_refine"), 0.0);
+  EXPECT_DOUBLE_EQ(r.stats.stage_seconds("layer_assign"), 0.0);
+  EXPECT_EQ(r.layers.via_count, 0);
+  EXPECT_GT(r.metrics.wirelength, 0);
+}
+
+TEST(Pipeline, UnknownRouterNameYieldsEmptyResult) {
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  Pipeline pipe(ctx);
+  const PipelineResult r = pipe.run("no-such-router");
+  EXPECT_TRUE(r.solution.nets.empty());
+  EXPECT_TRUE(r.stats.router.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Warm start
+// ---------------------------------------------------------------------------
+
+TEST(WarmStart, MazeRefineImprovesOrMatchesPriorSolution) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const design::Design d = small_design(/*seed=*/99);
+  RoutingContext ctx(d);
+  Pipeline pipe(ctx);
+
+  const PipelineResult cold = pipe.run("dgr", fast_options());
+  const PipelineResult refined = pipe.rerun("maze-refine", cold.solution);
+  EXPECT_TRUE(refined.solution.connects_all_pins());
+  // maze_refine is monotone in the weighted (overflow, WL, via) cost; at
+  // minimum the overflow must not regress.
+  EXPECT_LE(refined.metrics.total_overflow, cold.metrics.total_overflow + 1e-9);
+  EXPECT_EQ(refined.stats.counter("warm_started", 1.0), 1.0);
+}
+
+TEST(WarmStart, Cugr2RrrReentryNeverWorsensOverflowEdges) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const design::Design d = small_design(/*seed=*/31);
+  RoutingContext ctx(d);
+  Pipeline pipe(ctx);
+
+  const PipelineResult prior = pipe.run("sproute-lite");
+  const PipelineResult warm = pipe.rerun("cugr2-lite", prior.solution);
+  EXPECT_TRUE(warm.solution.connects_all_pins());
+  EXPECT_EQ(warm.stats.counter("warm_started"), 1.0);
+  // Cugr2Lite keeps its best-seen snapshot, which includes the warm-start
+  // state itself, so the RRR re-entry cannot regress the edge count.
+  EXPECT_LE(warm.metrics.overflow_edges, prior.metrics.overflow_edges);
+}
+
+TEST(WarmStart, MazeRefineWithoutPriorReturnsEmpty) {
+  util::set_log_level(util::LogLevel::kError);
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  MazeRefineRouter router;
+  ctx.clear_warm_start();
+  const eval::RouteSolution sol = router.route(ctx);
+  EXPECT_TRUE(sol.nets.empty());
+}
+
+TEST(WarmStart, ColdRunClearsPreviousWarmState) {
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  Pipeline pipe(ctx);
+  const PipelineResult a = pipe.run("cugr2-lite");
+  ctx.set_warm_start(a.solution);
+  const PipelineResult b = pipe.run("cugr2-lite");  // run() = cold contract
+  EXPECT_EQ(b.stats.counter("warm_started"), 0.0);
+}
+
+}  // namespace
+}  // namespace dgr::pipeline
