@@ -1,5 +1,6 @@
 #include "ad/adam.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -29,6 +30,12 @@ void Adam::step(std::vector<float>& params, const std::vector<double>& grads) {
         }
       },
       4096);
+}
+
+void Adam::reset() {
+  std::fill(m_.begin(), m_.end(), 0.0);
+  std::fill(v_.begin(), v_.end(), 0.0);
+  t_ = 0;
 }
 
 }  // namespace dgr::ad

@@ -25,6 +25,11 @@ class Adam {
   const AdamConfig& config() const { return config_; }
   void set_learning_rate(double lr) { config_.lr = lr; }
 
+  /// Zeroes the moment estimates and step count. Used by the solver's
+  /// divergence rollback: stale moments computed from a poisoned trajectory
+  /// must not leak into the replayed steps.
+  void reset();
+
  private:
   AdamConfig config_;
   std::vector<double> m_;

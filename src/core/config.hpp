@@ -36,6 +36,20 @@ struct DgrConfig {
 
   bool record_history = false;  ///< keep per-iteration cost curves
 
+  // ---- numeric health / fault tolerance (DESIGN.md §7) --------------------
+  /// Finite-check the loss and gradients every iteration *before* the Adam
+  /// step, so a NaN can never corrupt the optimizer moments. On a failed
+  /// check the solver rolls back to its best-so-far checkpoint, re-anneals
+  /// the temperature from there and replays with fresh (decorrelated) Gumbel
+  /// noise, up to `max_rollbacks` times; an exhausted budget ends training
+  /// with StatusCode::kNumericDivergence and the checkpoint parameters.
+  bool health_checks = true;
+  int max_rollbacks = 3;  ///< divergence rollback retry budget
+  /// Wall-clock budget for train() in seconds; 0 = unlimited. On expiry the
+  /// loop stops at the best-so-far checkpoint and reports
+  /// StatusCode::kStageTimeout (the pipeline's cooperative stage budget).
+  double time_budget_seconds = 0.0;
+
   /// Use the fused softmax→demand and overflow+sum tape kernels (single
   /// pool submission per chain). Off = the original one-op-per-primitive
   /// graph; kept for A/B benchmarking and as a reference implementation.

@@ -1,8 +1,11 @@
 #include "core/solver.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -104,7 +107,10 @@ double DgrSolver::train_step(int iteration) {
 
   std::vector<float> path_noise, tree_noise;
   if (config_.use_gumbel) {
-    util::Rng noise_rng = rng_.fork(0x6E015E ^ static_cast<std::uint64_t>(iteration));
+    // Generation 0 reproduces the historical noise stream exactly; each
+    // rollback bumps the generation so replayed iterations decorrelate.
+    util::Rng noise_rng = rng_.fork(0x6E015E ^ static_cast<std::uint64_t>(iteration) ^
+                                    (static_cast<std::uint64_t>(noise_generation_) << 40));
     path_noise.resize(np);
     tree_noise.resize(nt);
     for (float& g : path_noise) g = static_cast<float>(noise_rng.gumbel());
@@ -125,25 +131,104 @@ double DgrSolver::train_step(int iteration) {
     std::copy(gp.begin(), gp.end(), grads.begin());
     std::copy(gt.begin(), gt.end(), grads.begin() + static_cast<std::ptrdiff_t>(np));
   }
+
+  double cost = fw.breakdown.total;
+  if (DGR_FAULT_POINT("core.loss")) cost = std::numeric_limits<double>::quiet_NaN();
+  if (DGR_FAULT_POINT("core.grad") && !grads.empty()) {
+    grads[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+
+  // Numeric-health sentinel: a single fused accumulation over the gradient
+  // vector — any NaN/Inf poisons the running sum, so one isfinite() at the
+  // end covers every element (a finite sum of this many bounded gradients
+  // cannot overflow). Checked BEFORE the Adam step so a poisoned gradient
+  // never reaches the optimizer moments.
+  double grad_acc = 0.0;
+  for (const double g : grads) grad_acc += g;
+  last_step_finite_ = std::isfinite(cost) && std::isfinite(grad_acc);
+  if (config_.health_checks && !last_step_finite_) {
+    return cost;  // skip the update; train() decides whether to roll back
+  }
+
   adam_.step(params_, grads);
-  return fw.breakdown.total;
+  return cost;
 }
 
 TrainStats DgrSolver::train() {
   TrainStats stats;
   util::Timer timer;
   if (config_.record_history) stats.cost_history.reserve(static_cast<std::size_t>(config_.iterations));
-  for (int it = 0; it < config_.iterations; ++it) {
+
+  // The seeded initialisation is always a legal restore point; after that
+  // the checkpoint tracks the best (lowest training cost) iterate seen.
+  Checkpoint best;
+  best.params = params_;
+  best.next_iteration = 0;
+  best.cost = std::numeric_limits<double>::infinity();
+
+  bool restore_checkpoint = false;
+  int it = 0;
+  int steps_executed = 0;
+  while (it < config_.iterations) {
+    if (config_.time_budget_seconds > 0.0 &&
+        timer.seconds() >= config_.time_budget_seconds) {
+      stats.status = Status(StatusCode::kStageTimeout,
+                            "train: wall-clock budget exhausted at iteration " +
+                                std::to_string(it) + "/" + std::to_string(config_.iterations));
+      restore_checkpoint = best.cost < std::numeric_limits<double>::infinity();
+      break;
+    }
+
     const double cost = train_step(it);
+    ++steps_executed;
+
+    if (config_.health_checks && !last_step_finite_) {
+      // Divergence: the sentinel already kept the Adam state clean; roll the
+      // parameters back to the checkpoint, clear the (possibly stale)
+      // moments, and replay from there with fresh noise. Resuming at the
+      // checkpoint's iteration re-anneals the temperature automatically.
+      if (stats.rollbacks >= config_.max_rollbacks) {
+        stats.status = Status(StatusCode::kNumericDivergence,
+                              "train: non-finite loss/gradients at iteration " +
+                                  std::to_string(it) + ", rollback budget (" +
+                                  std::to_string(config_.max_rollbacks) + ") exhausted");
+        restore_checkpoint = true;
+        break;
+      }
+      ++stats.rollbacks;
+      DGR_LOG_WARN("train: non-finite loss/gradients at iteration %d; rollback %d/%d to "
+                   "iteration %d",
+                   it, stats.rollbacks, config_.max_rollbacks, best.next_iteration);
+      params_ = best.params;
+      adam_.reset();
+      ++noise_generation_;
+      if (config_.record_history) {
+        stats.cost_history.resize(static_cast<std::size_t>(best.next_iteration));
+      }
+      it = best.next_iteration;
+      continue;
+    }
+
     if (config_.record_history) stats.cost_history.push_back(cost);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.params = params_;
+      best.next_iteration = it + 1;
+    }
     if ((it + 1) % 100 == 0) {
       DGR_LOG_DEBUG("iter %d/%d cost=%.4f t=%.3f", it + 1, config_.iterations, cost,
                     temperature_at(it));
     }
+    ++it;
   }
-  stats.iterations_run = config_.iterations;
+
+  // On any early stop, leave the best healthy checkpoint behind so
+  // extract() still produces the last healthy solution.
+  if (restore_checkpoint) params_ = best.params;
+
+  stats.iterations_run = steps_executed;
   stats.train_seconds = timer.seconds();
-  stats.final_cost = evaluate(temperature_at(config_.iterations - 1));
+  stats.final_cost = evaluate(temperature_at(std::clamp(it, 0, std::max(0, config_.iterations - 1))));
   stats.tape_bytes = peak_tape_bytes_;
   return stats;
 }

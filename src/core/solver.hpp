@@ -17,6 +17,7 @@
 #include "core/relaxation.hpp"
 #include "eval/solution.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace dgr::core {
 
@@ -28,11 +29,17 @@ struct CostBreakdown {
 };
 
 struct TrainStats {
-  int iterations_run = 0;
+  int iterations_run = 0;              ///< gradient steps executed (incl. replays)
   double train_seconds = 0.0;
   CostBreakdown final_cost;            ///< noise-free cost at final temperature
   std::vector<double> cost_history;    ///< per-iteration training cost (if recorded)
   std::size_t tape_bytes = 0;          ///< peak tape footprint ("GPU memory" proxy)
+  int rollbacks = 0;                   ///< divergence rollbacks taken (health sentinel)
+  /// OK on a clean run; kNumericDivergence when the rollback budget was
+  /// exhausted, kStageTimeout when the wall-clock budget expired. On a
+  /// non-OK status the solver's parameters are the best-so-far checkpoint,
+  /// so extract() still yields the last healthy solution.
+  Status status;
 };
 
 class DgrSolver {
@@ -46,8 +53,14 @@ class DgrSolver {
   TrainStats train();
 
   /// One gradient step at the given iteration index (exposed for tests and
-  /// custom schedules). Returns the (stochastic) training cost.
+  /// custom schedules). Returns the (stochastic) training cost. When
+  /// config().health_checks is on and the loss or gradients are non-finite,
+  /// the Adam update is skipped (the optimizer state stays clean) and
+  /// last_step_finite() reports false.
   double train_step(int iteration);
+
+  /// Numeric-health verdict of the most recent train_step().
+  bool last_step_finite() const { return last_step_finite_; }
 
   /// Noise-free expected cost at temperature t (forward only).
   CostBreakdown evaluate(float temperature) const;
@@ -82,6 +95,15 @@ class DgrSolver {
                         const std::vector<float>* path_noise,
                         const std::vector<float>* tree_noise) const;
 
+  /// Best-so-far solver state for divergence rollback: a parameter snapshot
+  /// plus the iteration the replay resumes from (which also re-anneals the
+  /// temperature, since the schedule is a pure function of the iteration).
+  struct Checkpoint {
+    std::vector<float> params;
+    int next_iteration = 0;
+    double cost = 0.0;
+  };
+
   const dag::DagForest& forest_;
   Relaxation relax_;
   std::vector<float> capacities_;
@@ -91,6 +113,11 @@ class DgrSolver {
   util::Rng rng_;
   float via_cost_scale_ = 1.0f;  ///< √L of Eq. (5)
   std::size_t peak_tape_bytes_ = 0;
+  bool last_step_finite_ = true;
+  /// Bumped on every rollback so the replayed iterations draw fresh Gumbel
+  /// noise (replaying the exact diverging trajectory would just diverge
+  /// again). Deterministic: a pure function of the rollback count.
+  int noise_generation_ = 0;
 };
 
 }  // namespace dgr::core

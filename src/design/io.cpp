@@ -3,12 +3,26 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "util/fault.hpp"
 
 namespace dgr::design {
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("dgrd parse error at line " + std::to_string(line) + ": " + what);
+// Format limits: generous for any realistic g-cell instance, small enough
+// that a corrupt count can never drive a runaway allocation or an integer
+// overflow in grid arithmetic (cells and edges stay well inside int32).
+constexpr long long kMaxGridDim = 1 << 16;        // per-axis g-cells
+constexpr long long kMaxGridCells = 1 << 26;      // W*H
+constexpr long long kMaxLayers = 256;
+constexpr long long kMaxTracks = 1 << 20;
+constexpr long long kMaxNets = 10'000'000;
+constexpr long long kMaxPinsPerNet = 100'000;
+
+Status parse_fail(int line, const std::string& what) {
+  return Status(StatusCode::kParseError,
+                "dgrd parse error at line " + std::to_string(line) + ": " + what);
 }
 
 }  // namespace
@@ -38,10 +52,11 @@ void write_design_file(const std::string& path, const Design& design) {
   write_design(os, design);
 }
 
-Design read_design(std::istream& is) {
+Result<Design> try_read_design(std::istream& is) {
   int line_no = 0;
   std::string line;
-  auto next_line = [&](bool required) -> bool {
+  bool truncated = false;
+  auto next_line = [&]() -> bool {
     while (std::getline(is, line)) {
       ++line_no;
       // Skip blanks and # comments.
@@ -49,90 +64,144 @@ Design read_design(std::istream& is) {
       if (pos == std::string::npos || line[pos] == '#') continue;
       return true;
     }
-    if (required) fail(line_no, "unexpected end of file");
+    truncated = true;
     return false;
   };
+  auto eof_fail = [&]() { return parse_fail(line_no, "unexpected end of file"); };
 
-  next_line(true);
+  if (DGR_FAULT_POINT("io.parse")) {
+    return Status(StatusCode::kFaultInjected, "injected dgrd parse fault");
+  }
+
+  if (!next_line()) return eof_fail();
   {
     std::istringstream ss(line);
     std::string magic;
     int version = 0;
     if (!(ss >> magic >> version) || magic != "dgrd" || version != 1) {
-      fail(line_no, "expected header 'dgrd 1'");
+      return parse_fail(line_no, "expected header 'dgrd 1'");
     }
   }
 
-  next_line(true);
+  if (!next_line()) return eof_fail();
   std::string name;
   {
     std::istringstream ss(line);
     std::string kw;
-    if (!(ss >> kw >> name) || kw != "design") fail(line_no, "expected 'design <name>'");
+    if (!(ss >> kw >> name) || kw != "design") {
+      return parse_fail(line_no, "expected 'design <name>'");
+    }
   }
 
-  next_line(true);
-  int w = 0, h = 0, layer_count = 0;
+  if (!next_line()) return eof_fail();
+  // Dimensions are read as long long so negative or overflowing literals are
+  // caught by explicit range checks instead of wrapping through int.
+  long long w = 0, h = 0, layer_count = 0;
   {
     std::istringstream ss(line);
     std::string kw;
-    if (!(ss >> kw >> w >> h >> layer_count) || kw != "grid" || w < 1 || h < 1 ||
-        layer_count < 1) {
-      fail(line_no, "expected 'grid <W> <H> <L>'");
+    if (!(ss >> kw >> w >> h >> layer_count) || kw != "grid") {
+      return parse_fail(line_no, "expected 'grid <W> <H> <L>'");
+    }
+    if (w < 1 || h < 1 || layer_count < 1) {
+      return parse_fail(line_no, "grid dimensions must be positive");
+    }
+    if (w > kMaxGridDim || h > kMaxGridDim || w * h > kMaxGridCells ||
+        layer_count > kMaxLayers) {
+      return parse_fail(line_no, "grid dimensions exceed format limits");
     }
   }
 
   std::vector<grid::LayerInfo> layers;
-  for (int i = 0; i < layer_count; ++i) {
-    next_line(true);
+  for (long long i = 0; i < layer_count; ++i) {
+    if (!next_line()) return eof_fail();
     std::istringstream ss(line);
     std::string kw;
     char dir = 0;
-    int tracks = -1;
-    if (!(ss >> kw >> dir >> tracks) || kw != "layer" || (dir != 'H' && dir != 'V') ||
-        tracks < 0) {
-      fail(line_no, "expected 'layer <H|V> <tracks>'");
+    long long tracks = -1;
+    if (!(ss >> kw >> dir >> tracks) || kw != "layer" || (dir != 'H' && dir != 'V')) {
+      return parse_fail(line_no, "expected 'layer <H|V> <tracks>'");
     }
-    layers.push_back({dir == 'H' ? grid::Dir::kHorizontal : grid::Dir::kVertical, tracks});
+    if (tracks < 0 || tracks > kMaxTracks) {
+      return parse_fail(line_no, "layer track count out of range");
+    }
+    layers.push_back({dir == 'H' ? grid::Dir::kHorizontal : grid::Dir::kVertical,
+                      static_cast<int>(tracks)});
   }
 
-  next_line(true);
-  std::size_t net_count = 0;
+  if (!next_line()) return eof_fail();
+  long long net_count = 0;
   {
     std::istringstream ss(line);
     std::string kw;
-    if (!(ss >> kw >> net_count) || kw != "nets") fail(line_no, "expected 'nets <N>'");
+    if (!(ss >> kw >> net_count) || kw != "nets" || net_count < 0) {
+      return parse_fail(line_no, "expected 'nets <N>' with N >= 0");
+    }
+    if (net_count > kMaxNets) return parse_fail(line_no, "net count exceeds format limit");
   }
 
   std::vector<Net> nets;
-  nets.reserve(net_count);
-  for (std::size_t i = 0; i < net_count; ++i) {
-    next_line(true);
+  nets.reserve(static_cast<std::size_t>(net_count));
+  std::unordered_set<std::string> seen_names;
+  seen_names.reserve(static_cast<std::size_t>(net_count));
+  for (long long i = 0; i < net_count; ++i) {
+    if (!next_line()) return eof_fail();
     std::istringstream ss(line);
     std::string kw;
     Net net;
-    std::size_t npins = 0;
-    if (!(ss >> kw >> net.name >> npins) || kw != "net" || npins == 0) {
-      fail(line_no, "expected 'net <name> <npins> ...'");
+    long long npins = 0;
+    if (!(ss >> kw >> net.name >> npins) || kw != "net" || npins <= 0) {
+      return parse_fail(line_no, "expected 'net <name> <npins> ...'");
     }
-    for (std::size_t k = 0; k < npins; ++k) {
-      Point p;
-      if (!(ss >> p.x >> p.y)) fail(line_no, "net pin list truncated");
-      net.pins.push_back(p);
+    if (npins > kMaxPinsPerNet) return parse_fail(line_no, "pin count exceeds format limit");
+    if (!seen_names.insert(net.name).second) {
+      return parse_fail(line_no, "duplicate net id '" + net.name + "'");
+    }
+    net.pins.reserve(static_cast<std::size_t>(npins));
+    for (long long k = 0; k < npins; ++k) {
+      long long x = 0, y = 0;
+      if (!(ss >> x >> y)) return parse_fail(line_no, "net pin list truncated");
+      if (x < 0 || y < 0 || x >= w || y >= h) {
+        return parse_fail(line_no, "pin (" + std::to_string(x) + "," + std::to_string(y) +
+                                       ") outside the grid");
+      }
+      net.pins.push_back({static_cast<geom::Coord>(x), static_cast<geom::Coord>(y)});
     }
     nets.push_back(std::move(net));
   }
 
-  next_line(true);
-  if (line.substr(line.find_first_not_of(" \t"), 3) != "end") fail(line_no, "expected 'end'");
+  if (!next_line()) return eof_fail();
+  if (line.substr(line.find_first_not_of(" \t"), 3) != "end") {
+    return parse_fail(line_no, "expected 'end'");
+  }
 
-  return Design(std::move(name), GCellGrid(w, h, std::move(layers)), std::move(nets));
+  // Design's own invariants (pin dedup, non-empty nets) are a second gate;
+  // convert any rejection into a ParseError rather than letting it escape.
+  try {
+    return Design(std::move(name),
+                  GCellGrid(static_cast<int>(w), static_cast<int>(h), std::move(layers)),
+                  std::move(nets));
+  } catch (const std::exception& e) {
+    return parse_fail(line_no, std::string("design validation failed: ") + e.what());
+  }
+}
+
+Result<Design> try_read_design_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status(StatusCode::kNotFound, "cannot open for read: " + path);
+  return try_read_design(is);
+}
+
+Design read_design(std::istream& is) {
+  Result<Design> result = try_read_design(is);
+  if (!result.ok()) throw std::runtime_error(result.status().to_string());
+  return result.take();
 }
 
 Design read_design_file(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open for read: " + path);
-  return read_design(is);
+  Result<Design> result = try_read_design_file(path);
+  if (!result.ok()) throw std::runtime_error(result.status().to_string());
+  return result.take();
 }
 
 }  // namespace dgr::design

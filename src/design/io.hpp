@@ -14,11 +14,18 @@
 //   nets <N>
 //   net <name> <npins> <x> <y> [<x> <y> ...]
 //   end
+//
+// The parser is hardened against hostile input: truncated files, numeric
+// overflow/negative counts, zero/absurd grid dimensions, duplicate net ids
+// and out-of-grid pins all yield a typed ParseError with the offending line
+// number — never a crash, hang or runaway allocation (see the format limits
+// in io.cpp).
 
 #include <iosfwd>
 #include <string>
 
 #include "design/design.hpp"
+#include "util/status.hpp"
 
 namespace dgr::design {
 
@@ -26,8 +33,14 @@ namespace dgr::design {
 void write_design(std::ostream& os, const Design& design);
 void write_design_file(const std::string& path, const Design& design);
 
-/// Parses a design; throws std::runtime_error with a line-numbered message
-/// on malformed input.
+/// Parses a design. On malformed input returns StatusCode::kParseError with
+/// a line-numbered message; on a missing file, kNotFound. Never throws for
+/// bad input.
+Result<Design> try_read_design(std::istream& is);
+Result<Design> try_read_design_file(const std::string& path);
+
+/// Throwing convenience wrappers over the Status API (std::runtime_error
+/// carrying Status::to_string()).
 Design read_design(std::istream& is);
 Design read_design_file(const std::string& path);
 

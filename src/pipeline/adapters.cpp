@@ -1,7 +1,10 @@
 #include "pipeline/adapters.hpp"
 
+#include <algorithm>
+#include <new>
 #include <utility>
 
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -16,6 +19,16 @@ void sync_demand(RoutingContext& ctx, const eval::RouteSolution& sol) {
   ctx.commit(sol);
 }
 
+/// Tightest of the engine's own budget and the context's armed stage
+/// budget. Returns 0 (= unlimited) when neither constrains the run; an
+/// already-expired stage budget maps to an epsilon so the engine stops at
+/// its first deadline poll instead of running unbounded.
+double effective_budget(const RoutingContext& ctx, double own_budget) {
+  if (!ctx.stage_budget_armed()) return own_budget;
+  const double remaining = std::max(ctx.stage_budget_remaining(), 1e-9);
+  return own_budget > 0.0 ? std::min(own_budget, remaining) : remaining;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -27,6 +40,7 @@ DgrRouter::DgrRouter(core::DgrConfig config, dag::ForestOptions forest)
 
 eval::RouteSolution DgrRouter::route(RoutingContext& ctx) {
   reset_stats();
+  if (DGR_FAULT_POINT("pipeline.alloc")) throw std::bad_alloc();
   dag::ForestOptions fopts = forest_;
   fopts.via_demand_beta = ctx.via_beta();
 
@@ -34,11 +48,19 @@ eval::RouteSolution DgrRouter::route(RoutingContext& ctx) {
   const dag::DagForest& forest = ctx.forest(fopts);
   stats_.add_stage("forest", timer.seconds());
 
-  core::DgrSolver solver(forest, ctx.capacities(), config_);
+  // The stage budget covers the whole route stage: whatever the forest
+  // build consumed comes out of the solver's training budget.
+  core::DgrConfig config = config_;
+  config.time_budget_seconds = effective_budget(ctx, config.time_budget_seconds);
+
+  core::DgrSolver solver(forest, ctx.capacities(), config);
   timer.reset();
   const core::TrainStats train = solver.train();
   stats_.add_stage("train", timer.seconds());
 
+  // Even on a non-OK status the solver holds its best healthy checkpoint,
+  // so the extraction below is the last good solution — the pipeline uses
+  // it to warm-start a fallback router when it degrades.
   timer.reset();
   eval::RouteSolution sol = solver.extract();
   stats_.add_stage("extract", timer.seconds());
@@ -48,6 +70,11 @@ eval::RouteSolution DgrRouter::route(RoutingContext& ctx) {
   stats_.add_counter("iterations", static_cast<double>(train.iterations_run));
   stats_.add_counter("final_cost", train.final_cost.total);
   stats_.add_counter("path_candidates", static_cast<double>(forest.paths().size()));
+  stats_.status = train.status;
+  stats_.rollbacks = train.rollbacks;
+  if (train.rollbacks > 0) {
+    stats_.add_counter("rollbacks", static_cast<double>(train.rollbacks));
+  }
   sync_demand(ctx, sol);
   return sol;
 }
@@ -62,6 +89,7 @@ eval::RouteSolution Cugr2Router::route(RoutingContext& ctx) {
   reset_stats();
   routers::Cugr2LiteOptions opts = options_;
   opts.via_beta = ctx.via_beta();
+  opts.time_budget_seconds = effective_budget(ctx, opts.time_budget_seconds);
   routers::Cugr2Lite router(ctx.design(), ctx.capacities(), opts);
   routers::Cugr2LiteStats rs;
   eval::RouteSolution sol = router.route(&rs, ctx.warm_start());
@@ -69,6 +97,9 @@ eval::RouteSolution Cugr2Router::route(RoutingContext& ctx) {
   stats_.add_counter("rounds", static_cast<double>(rs.rounds_run));
   stats_.add_counter("nets_rerouted", static_cast<double>(rs.nets_rerouted));
   stats_.add_counter("warm_started", ctx.warm_start() != nullptr ? 1.0 : 0.0);
+  // A budget stop still returns the best whole snapshot; the solution is
+  // usable but the refinement was cut short, so mark it degraded.
+  stats_.degraded = rs.timed_out;
   sync_demand(ctx, sol);
   return sol;
 }
@@ -83,6 +114,7 @@ eval::RouteSolution SpRouteRouter::route(RoutingContext& ctx) {
   reset_stats();
   routers::SpRouteLiteOptions opts = options_;
   opts.via_beta = ctx.via_beta();
+  opts.time_budget_seconds = effective_budget(ctx, opts.time_budget_seconds);
   routers::SpRouteLite router(ctx.design(), ctx.capacities(), opts);
   routers::SpRouteLiteStats rs;
   eval::RouteSolution sol = router.route(&rs, ctx.warm_start());
@@ -90,6 +122,7 @@ eval::RouteSolution SpRouteRouter::route(RoutingContext& ctx) {
   stats_.add_counter("rounds", static_cast<double>(rs.rounds_run));
   stats_.add_counter("nets_rerouted", static_cast<double>(rs.reroutes));
   stats_.add_counter("warm_started", ctx.warm_start() != nullptr ? 1.0 : 0.0);
+  stats_.degraded = rs.timed_out;
   sync_demand(ctx, sol);
   return sol;
 }
@@ -125,6 +158,8 @@ eval::RouteSolution MazeRefineRouter::route(RoutingContext& ctx) {
   reset_stats();
   if (ctx.warm_start() == nullptr) {
     DGR_LOG_WARN("maze-refine router needs a warm start; returning empty solution");
+    stats_.status = Status(StatusCode::kInvalidArgument,
+                           "maze-refine requires a warm start");
     return {};
   }
   eval::RouteSolution sol = *ctx.warm_start();

@@ -1,5 +1,7 @@
 #include "pipeline/context.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace dgr::pipeline {
@@ -61,6 +63,16 @@ void RoutingContext::set_warm_start(eval::RouteSolution prior) {
 void RoutingContext::clear_warm_start() {
   warm_start_ = {};
   has_warm_start_ = false;
+}
+
+void RoutingContext::set_stage_budget(double seconds) {
+  stage_budget_seconds_ = seconds > 0.0 ? seconds : 0.0;
+  stage_timer_.reset();
+}
+
+double RoutingContext::stage_budget_remaining() const {
+  if (!stage_budget_armed()) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, stage_budget_seconds_ - stage_timer_.seconds());
 }
 
 const dag::DagForest& RoutingContext::forest(const dag::ForestOptions& options) {

@@ -26,6 +26,7 @@
 #include "eval/solution.hpp"
 #include "grid/demand_map.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace dgr::pipeline {
 
@@ -73,6 +74,18 @@ class RoutingContext {
   }
   void clear_warm_start();
 
+  // ---- stage budget (cooperative deadline) ---------------------------------
+  /// Arms a wall-clock budget for the stage about to run. Routers poll
+  /// stage_budget_remaining() and stop cooperatively (DGR clamps its train
+  /// budget, the baselines check between rounds); the Pipeline arms this
+  /// from PipelineOptions::budgets before the route stage and clears it
+  /// after. `seconds` <= 0 disarms.
+  void set_stage_budget(double seconds);
+  void clear_stage_budget() { stage_budget_seconds_ = 0.0; }
+  bool stage_budget_armed() const { return stage_budget_seconds_ > 0.0; }
+  /// Seconds left of the armed budget (>= 0); +inf when disarmed.
+  double stage_budget_remaining() const;
+
   // ---- DAG forest cache ----------------------------------------------------
   /// The DAG forest for this design, built on first use and cached; a call
   /// with different options rebuilds, invalidating references to the
@@ -100,6 +113,8 @@ class RoutingContext {
   bool has_warm_start_ = false;
   std::unique_ptr<dag::DagForest> forest_;
   dag::ForestOptions forest_options_;
+  double stage_budget_seconds_ = 0.0;
+  util::Timer stage_timer_;
 };
 
 }  // namespace dgr::pipeline

@@ -22,6 +22,7 @@
 #include "eval/metrics.hpp"
 #include "pipeline/registry.hpp"
 #include "pipeline/router.hpp"
+#include "pipeline/validate.hpp"
 #include "post/layer_assign.hpp"
 #include "post/maze_refine.hpp"
 
@@ -33,9 +34,32 @@ struct StagePlan {
   bool layer_assign = true;   ///< run DP layer assignment (3D metrics)
 };
 
+/// Route-stage fault tolerance: wall-clock budget and degraded fallback.
+struct StageBudgets {
+  /// Wall-clock budget for the route stage in seconds; 0 = unlimited.
+  /// Routers poll the armed budget cooperatively (DGR clamps its training
+  /// budget, the baselines stop between rounds).
+  double route_seconds = 0.0;
+  /// Registry name to fall back to when the route stage fails with a
+  /// degradable status (timeout, divergence, resource exhaustion, internal
+  /// error, injected fault). Empty disables degradation: the typed error is
+  /// surfaced in stats.status instead. Non-degradable failures (e.g.
+  /// InvalidArgument from a cold refinement-only router) always surface.
+  std::string fallback_router = "cugr2-lite";
+  /// Warm-start the fallback from the failed router's last healthy
+  /// extraction when that solution is complete; otherwise route cold.
+  bool warm_start_fallback = true;
+};
+
 struct PipelineOptions {
   post::MazeRefineOptions refine;   ///< maze_refine stage parameters
   post::LayerAssignOptions layers;  ///< layer_assign stage parameters
+  StageBudgets budgets;             ///< route-stage budget + degradation
+  RouterOptions fallback_options;   ///< options for the fallback router
+  /// Post-route validation gate: per-net geometry/connectivity checks plus
+  /// demand accounting against the live DemandMap; broken nets are repaired
+  /// with a congestion-priced maze reroute before evaluation.
+  bool validate = true;
 };
 
 /// Everything a harness reports about one routing run.
@@ -46,6 +70,7 @@ struct PipelineResult {
   std::int64_t nets_with_overflow = 0;  ///< n1 (2D stand-in)
   post::LayerAssignment layers;         ///< valid when plan.layer_assign
   post::MazeRefineStats refine;         ///< valid when plan.maze_refine
+  ValidationReport validation;          ///< valid when options.validate
   RouterStats stats;                    ///< router sub-stages + pipeline stages
 };
 

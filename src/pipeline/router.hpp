@@ -8,12 +8,14 @@
 /// named counters) so the bench harnesses compare all engines through one
 /// code path instead of four bespoke stats structs.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "eval/solution.hpp"
 #include "pipeline/context.hpp"
+#include "util/status.hpp"
 
 namespace dgr::pipeline {
 
@@ -35,6 +37,16 @@ struct RouterStats {
   /// Solver-retained bytes (forest + relaxation + tape) — DGR's
   /// "GPU memory" proxy of Fig. 5b; 0 for the combinatorial routers.
   std::size_t solver_bytes = 0;
+
+  // ---- failure-path record (stamped even when the run did not finish) -----
+  /// Outcome of the run: OK, or the typed failure the pipeline acted on
+  /// (STAGE_TIMEOUT, NUMERIC_DIVERGENCE, RESOURCE_EXHAUSTED, ...).
+  Status status;
+  std::int64_t rollbacks = 0;      ///< solver divergence rollbacks taken
+  std::int64_t repaired_nets = 0;  ///< nets rebuilt by the validation gate
+  /// The result came from a degraded path: the route stage fell back to a
+  /// cheaper router, or the primary stopped early on its time budget.
+  bool degraded = false;
 
   void add_stage(std::string stage, double seconds);
   void add_counter(std::string name, double value);

@@ -54,10 +54,11 @@ NetCost net_cost(const design::Design& design, const NetRoute& net, const Demand
   return out;
 }
 
-/// Reroutes a net from scratch with congestion-priced maze search.
-NetRoute maze_net(const design::Design& design, std::size_t design_net,
-                  const DemandMap& others, const std::vector<float>& cap,
-                  const MazeRefineOptions& opt) {
+}  // namespace
+
+NetRoute maze_reroute_net(const design::Design& design, std::size_t design_net,
+                          const DemandMap& others, const std::vector<float>& cap,
+                          const MazeRefineOptions& opt) {
   const auto& grid = design.grid();
   NetRoute route;
   route.design_net = design_net;
@@ -90,6 +91,14 @@ NetRoute maze_net(const design::Design& design, std::size_t design_net,
       }
     }
     const routers::MazeResult mz = routers::maze_route(grid, component, pins[next], price);
+    if (!mz.found) {
+      // Unreachable pin (pathological pricing): return an incomplete route
+      // so the caller rejects it instead of committing broken geometry.
+      DGR_LOG_WARN("maze_reroute_net net %zu: %s", design_net,
+                   mz.status.to_string().c_str());
+      route.paths.clear();
+      return route;
+    }
     dag::PatternPath path = routers::compress_cells(mz.cells);
     for (const EdgeId e : path.edges(grid)) mine.add(e, 1.0);
     for (const Point& cell : mz.cells) component.push_back(cell);
@@ -98,8 +107,6 @@ NetRoute maze_net(const design::Design& design, std::size_t design_net,
   }
   return route;
 }
-
-}  // namespace
 
 MazeRefineStats maze_refine(RouteSolution& sol, const std::vector<float>& capacities,
                             const MazeRefineOptions& options) {
@@ -149,12 +156,13 @@ MazeRefineStats maze_refine(RouteSolution& sol, const std::vector<float>& capaci
       const NetCost old_cost =
           net_cost(design, sol.nets[i], demand, capacities, options, via_scale);
       NetRoute candidate =
-          maze_net(design, sol.nets[i].design_net, demand, capacities, options);
+          maze_reroute_net(design, sol.nets[i].design_net, demand, capacities, options);
       const NetCost new_cost =
           net_cost(design, candidate, demand, capacities, options, via_scale);
       ++stats.nets_rerouted;
-      // Accept only strict improvements that do not add overflowed edges.
-      if (new_cost.weighted < old_cost.weighted - 1e-9 &&
+      // Accept only complete reroutes that strictly improve without adding
+      // overflowed edges (an empty candidate = unreachable pin, rejected).
+      if (!candidate.paths.empty() && new_cost.weighted < old_cost.weighted - 1e-9 &&
           new_cost.overflowed_edges <= old_cost.overflowed_edges) {
         sol.nets[i] = std::move(candidate);
         ++stats.nets_improved;

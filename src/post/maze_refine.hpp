@@ -31,4 +31,14 @@ MazeRefineStats maze_refine(eval::RouteSolution& sol,
                             const std::vector<float>& capacities,
                             const MazeRefineOptions& options = {});
 
+/// Reroutes one net from scratch with congestion-priced maze search against
+/// `others` (the demand map *excluding* the net itself). Shared by the
+/// refinement rounds above and the pipeline's validation-gate repair of
+/// broken nets. Returns a route with empty paths when a pin is unreachable
+/// (callers must treat that as "net still broken", never commit it).
+eval::NetRoute maze_reroute_net(const design::Design& design, std::size_t design_net,
+                                const grid::DemandMap& others,
+                                const std::vector<float>& capacities,
+                                const MazeRefineOptions& options = {});
+
 }  // namespace dgr::post

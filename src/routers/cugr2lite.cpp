@@ -134,8 +134,14 @@ RouteSolution Cugr2Lite::route(Cugr2LiteStats* stats, const RouteSolution* warm_
   RouteSolution best = sol;
   auto best_score = score();
 
+  bool timed_out = false;
   int round = 0;
   for (; round < options_.rrr_rounds; ++round) {
+    if (options_.time_budget_seconds > 0.0 &&
+        timer.seconds() >= options_.time_budget_seconds) {
+      timed_out = true;
+      break;
+    }
     // Collect nets crossing overflowed edges.
     std::vector<std::size_t> victims;
     for (std::size_t i = 0; i < sol.nets.size(); ++i) {
@@ -173,6 +179,7 @@ RouteSolution Cugr2Lite::route(Cugr2LiteStats* stats, const RouteSolution* warm_
     stats->rounds_run = round;
     stats->nets_rerouted = rerouted;
     stats->route_seconds = timer.seconds();
+    stats->timed_out = timed_out;
   }
   return best;
 }

@@ -27,12 +27,17 @@ struct Cugr2LiteOptions {
   dag::PathEnumOptions paths;    ///< L-only by default, Z optional
   bool maze_fallback = true;     ///< maze-reroute stubborn nets in last rounds
   rsmt::RsmtOptions rsmt;
+  /// Cooperative wall-clock budget (0 = unlimited): checked between RRR
+  /// rounds; the initial pass always completes so the returned solution is
+  /// whole. On expiry `timed_out` is set and the best snapshot is returned.
+  double time_budget_seconds = 0.0;
 };
 
 struct Cugr2LiteStats {
   int rounds_run = 0;
   std::int64_t nets_rerouted = 0;
   double route_seconds = 0.0;
+  bool timed_out = false;  ///< RRR stopped early on the time budget
 };
 
 class Cugr2Lite {

@@ -173,7 +173,9 @@ RouteSolution LagrangianRouter::route(LagrangianStats* stats) {
           };
           const MazeResult mz =
               maze_route(grid, {p.waypoints.front()}, p.waypoints.back(), price);
-          PatternPath q = compress_cells(mz.cells);
+          // On an unreachable target keep the existing leg: an empty
+          // replacement would look "cheaper" and break the net.
+          PatternPath q = mz.found ? compress_cells(mz.cells) : p;
           for (const EdgeId e : q.edges(grid)) mine.add(e, 1.0);
           candidate.push_back(std::move(q));
         }

@@ -9,6 +9,10 @@ namespace dgr::routers {
 MazeResult maze_route(const GCellGrid& grid, const std::vector<Point>& sources,
                       Point target, const std::function<double(EdgeId)>& edge_cost) {
   MazeResult result;
+  if (sources.empty()) {
+    result.status = Status(StatusCode::kInvalidArgument, "maze: empty source set");
+    return result;
+  }
   const auto num_cells = static_cast<std::size_t>(grid.cell_count());
   std::vector<double> dist(num_cells, std::numeric_limits<double>::infinity());
   std::vector<std::int32_t> prev(num_cells, -1);
@@ -50,8 +54,18 @@ MazeResult maze_route(const GCellGrid& grid, const std::vector<Point>& sources,
     }
   }
 
-  if (!std::isfinite(dist[target_id])) return result;
+  if (!std::isfinite(dist[target_id])) {
+    // Surface the dead end as a typed Status instead of a silent empty
+    // result, so callers can distinguish "no path" from "not attempted".
+    const Point t = grid.cell_point(static_cast<std::int32_t>(target_id));
+    result.status = Status(StatusCode::kUnreachableTarget,
+                           "maze: target (" + std::to_string(t.x) + "," +
+                               std::to_string(t.y) + ") unreachable from " +
+                               std::to_string(sources.size()) + " source(s)");
+    return result;
+  }
   result.found = true;
+  result.status = Status();  // OK
   result.cost = dist[target_id];
   // Walk predecessors back to a source.
   std::vector<Point> reversed;

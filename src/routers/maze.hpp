@@ -9,6 +9,7 @@
 
 #include "dag/path.hpp"
 #include "grid/gcell_grid.hpp"
+#include "util/status.hpp"
 
 namespace dgr::routers {
 
@@ -21,10 +22,17 @@ struct MazeResult {
   bool found = false;
   double cost = 0.0;
   std::vector<Point> cells;  ///< source cell ... target cell (inclusive)
+  /// Typed outcome: OK when a path was found; kUnreachableTarget when the
+  /// search exhausted the grid without reaching the target (e.g. an edge
+  /// cost of +inf walls it off); defaults to kCancelled so callers can tell
+  /// "no path exists" apart from "search never ran".
+  Status status{StatusCode::kCancelled, "maze: not attempted"};
 };
 
 /// Dijkstra from any of `sources` (all seeded at distance 0) to `target`.
 /// `edge_cost` must return a strictly positive cost per g-cell edge.
+/// `result.status` distinguishes success, an unreachable target and an
+/// empty source set (kInvalidArgument); `cells` is empty unless found.
 MazeResult maze_route(const GCellGrid& grid, const std::vector<Point>& sources,
                       Point target, const std::function<double(EdgeId)>& edge_cost);
 

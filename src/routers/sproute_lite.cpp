@@ -62,7 +62,14 @@ NetRoute SpRouteLite::route_net(std::size_t design_net) {
     }
     const MazeResult mz = maze_route(grid, component, pins[next],
                                      [this](EdgeId e) { return edge_cost(e); });
-    // The grid is connected, so the route always exists.
+    if (!mz.found) {
+      // The grid is connected so this only happens with a pathological cost
+      // function; return an (empty) incomplete route rather than fabricate
+      // geometry — the pipeline's validation gate repairs such nets.
+      DGR_LOG_WARN("sproute_lite net %zu: %s", design_net, mz.status.to_string().c_str());
+      route.paths.clear();
+      return route;
+    }
     dag::PatternPath path = compress_cells(mz.cells);
     for (const Point& cell : mz.cells) component.push_back(cell);
     route.paths.push_back(std::move(path));
@@ -116,8 +123,14 @@ RouteSolution SpRouteLite::route(SpRouteLiteStats* stats, const RouteSolution* w
   RouteSolution best = sol;
   auto best_score = score();
 
+  bool timed_out = false;
   int round = 0;
   for (; round < options_.max_rounds; ++round) {
+    if (options_.time_budget_seconds > 0.0 &&
+        timer.seconds() >= options_.time_budget_seconds) {
+      timed_out = true;
+      break;
+    }
     // Negotiation: bump history on overflowed edges, then reroute the nets
     // crossing them.
     std::vector<bool> edge_over(history_.size(), false);
@@ -160,6 +173,7 @@ RouteSolution SpRouteLite::route(SpRouteLiteStats* stats, const RouteSolution* w
     stats->rounds_run = round;
     stats->reroutes = reroutes;
     stats->route_seconds = timer.seconds();
+    stats->timed_out = timed_out;
   }
   return best;
 }

@@ -21,12 +21,17 @@ struct SpRouteLiteOptions {
   double history_step = 1.0;    ///< history increment on overflowed edges
   double history_factor = 2.0;  ///< history multiplier in the cost
   double soft_capacity = 0.9;   ///< fraction of cap where cost starts rising
+  /// Cooperative wall-clock budget (0 = unlimited): checked between
+  /// negotiation rounds; the initial pass always completes so the returned
+  /// solution is whole. On expiry `timed_out` is set.
+  double time_budget_seconds = 0.0;
 };
 
 struct SpRouteLiteStats {
   int rounds_run = 0;
   std::int64_t reroutes = 0;
   double route_seconds = 0.0;
+  bool timed_out = false;  ///< negotiation stopped early on the time budget
 };
 
 class SpRouteLite {

@@ -1,0 +1,34 @@
+#include "util/status.hpp"
+
+namespace dgr {
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kNumericDivergence: return "NUMERIC_DIVERGENCE";
+    case StatusCode::kStageTimeout: return "STAGE_TIMEOUT";
+    case StatusCode::kCapacityInfeasible: return "CAPACITY_INFEASIBLE";
+    case StatusCode::kUnreachableTarget: return "UNREACHABLE_TARGET";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kValidationFailed: return "VALIDATION_FAILED";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFaultInjected: return "FAULT_INJECTED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dgr

@@ -1,0 +1,111 @@
+#pragma once
+/// \file
+/// \brief Typed error taxonomy for library boundaries: dgr::Status and
+/// dgr::Result<T>.
+///
+/// The routing pipeline's failure model (DESIGN.md §7) distinguishes
+/// *recoverable* outcomes — a stage that timed out, a solve that diverged,
+/// an injected fault — from programmer errors. Library boundaries
+/// (design/io, core::DgrSolver::train, pipeline::Pipeline) report the former
+/// as a Status instead of throwing, so callers can degrade gracefully
+/// (fall back to a cheaper router, roll back to a checkpoint, repair a
+/// broken net) rather than unwind.
+///
+/// Status is cheap to copy when OK (empty message, enum code) and carries a
+/// human-readable message otherwise. Result<T> couples a Status with a
+/// payload for parse-style APIs.
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dgr {
+
+/// Failure classes a caller can act on. Keep this list small and
+/// behavioural: a code should tell the caller *what to do* (retry, degrade,
+/// repair, give up), not merely where the failure happened.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,     ///< caller error: bad sizes, missing precondition
+  kParseError,          ///< malformed .dgrd input (line-numbered message)
+  kNumericDivergence,   ///< non-finite loss/gradients; retries exhausted
+  kStageTimeout,        ///< a pipeline stage exceeded its wall-clock budget
+  kCapacityInfeasible,  ///< no legal routing exists under the capacities
+  kUnreachableTarget,   ///< maze search: target not reachable from sources
+  kResourceExhausted,   ///< allocation failure / memory budget exceeded
+  kValidationFailed,    ///< post-route gate found unrepairable damage
+  kNotFound,            ///< named entity (router, file) does not exist
+  kFaultInjected,       ///< synthetic fault from util/fault.hpp
+  kCancelled,           ///< work was not attempted
+  kInternal,            ///< unexpected exception converted at a boundary
+};
+
+/// Stable upper-snake name of a code ("STAGE_TIMEOUT", ...), for logs.
+std::string_view status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Default = OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "STAGE_TIMEOUT: route stage exceeded 0.5s budget" (or "OK").
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status or a value: the return type of fallible producers
+/// (e.g. design::try_read_design). Exactly one of the two is meaningful.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)), has_value_(true) {}
+  Result(Status status) : status_(std::move(status)) {
+    // A Result built from a status must describe a failure.
+    assert(!status_.ok());
+    if (status_.ok()) status_ = Status(StatusCode::kInternal, "Result built from OK status");
+  }
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(has_value_);
+    return value_;
+  }
+  const T& value() const {
+    assert(has_value_);
+    return value_;
+  }
+  T&& take() {
+    assert(has_value_);
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_ = false;
+};
+
+}  // namespace dgr
+
+/// Early-return plumbing for Status-returning functions.
+#define DGR_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::dgr::Status dgr_status_tmp_ = (expr);        \
+    if (!dgr_status_tmp_.ok()) return dgr_status_tmp_; \
+  } while (0)

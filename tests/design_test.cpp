@@ -286,5 +286,95 @@ TEST(DesignIo, ErrorMentionsLineNumber) {
   }
 }
 
+// ---- hardened parser: typed Status instead of ad-hoc throws ----------------
+
+TEST(DesignIo, TryReadReturnsTypedParseError) {
+  std::stringstream ss("dgrx 1\n");
+  const Result<Design> r = try_read_design(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(DesignIo, TryReadSucceedsOnValidInput) {
+  std::stringstream ss("dgrd 1\ndesign t\ngrid 2 2 1\nlayer H 1\nnets 1\nnet n0 2 0 0 1 1\nend\n");
+  Result<Design> r = try_read_design(ss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().net_count(), 1u);
+}
+
+TEST(DesignIo, RejectsTruncatedFile) {
+  // Promises one net, then the stream ends: must be a typed error, not a
+  // hang, crash, or silently empty design.
+  std::stringstream ss("dgrd 1\ndesign t\ngrid 2 2 1\nlayer H 1\nnets 1\n");
+  const Result<Design> r = try_read_design(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("end of file"), std::string::npos);
+}
+
+TEST(DesignIo, RejectsNegativeNetCount) {
+  // A negative count must not wrap through unsigned into a giant reserve.
+  std::stringstream ss("dgrd 1\ndesign t\ngrid 2 2 1\nlayer H 1\nnets -5\nend\n");
+  const Result<Design> r = try_read_design(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DesignIo, RejectsOverflowingGridDims) {
+  std::stringstream ss("dgrd 1\ndesign t\ngrid 999999999999 4 1\nlayer H 1\nnets 0\nend\n");
+  const Result<Design> r = try_read_design(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DesignIo, RejectsHugeGridArea) {
+  // Each axis within the per-axis cap, product past the cell cap.
+  std::stringstream ss("dgrd 1\ndesign t\ngrid 65536 65536 1\nlayer H 1\nnets 0\nend\n");
+  const Result<Design> r = try_read_design(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DesignIo, RejectsDuplicateNetId) {
+  std::stringstream ss(
+      "dgrd 1\ndesign t\ngrid 4 4 1\nlayer H 1\nnets 2\n"
+      "net n0 2 0 0 1 1\nnet n0 2 2 2 3 3\nend\n");
+  const Result<Design> r = try_read_design(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("duplicate net id"), std::string::npos);
+}
+
+TEST(DesignIo, RejectsPinOutsideGridAtParse) {
+  std::stringstream ss("dgrd 1\ndesign t\ngrid 2 2 1\nlayer H 1\nnets 1\nnet n0 2 0 0 5 5\nend\n");
+  const Result<Design> r = try_read_design(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DesignIo, RejectsZeroPinNet) {
+  std::stringstream ss("dgrd 1\ndesign t\ngrid 2 2 1\nlayer H 1\nnets 1\nnet n0 0\nend\n");
+  const Result<Design> r = try_read_design(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(DesignIo, MissingFileIsNotFound) {
+  const Result<Design> r = try_read_design_file("/nonexistent/dir/absent.dgrd");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DesignIo, ThrowingWrapperCarriesStatusText) {
+  std::stringstream ss("dgrd 1\ndesign t\ngrid 2 2 1\nlayer H 1\nnets -1\nend\n");
+  try {
+    read_design(ss);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("PARSE_ERROR"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace dgr::design

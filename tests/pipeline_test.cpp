@@ -292,5 +292,155 @@ TEST(WarmStart, ColdRunClearsPreviousWarmState) {
   EXPECT_EQ(b.stats.counter("warm_started"), 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Typed failure paths, stage budgets, degradation
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, UnknownRouterNameReportsNotFoundStatus) {
+  util::set_log_level(util::LogLevel::kOff);
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  Pipeline pipe(ctx);
+  const PipelineResult r = pipe.run("no-such-router");
+  EXPECT_EQ(r.stats.status.code(), StatusCode::kNotFound);
+  util::set_log_level(util::LogLevel::kWarn);
+}
+
+TEST(Pipeline, ColdMazeRefineSurfacesInvalidArgumentNotFallback) {
+  // A refinement-only router run cold is a caller error: it must surface a
+  // typed status, never silently degrade to a different engine.
+  util::set_log_level(util::LogLevel::kError);
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  Pipeline pipe(ctx);
+  const PipelineResult r = pipe.run("maze-refine");
+  EXPECT_EQ(r.stats.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(r.stats.degraded);
+  EXPECT_TRUE(r.solution.nets.empty());
+  EXPECT_GT(r.stats.peak_rss_bytes, 0u);  // failure paths still report memory
+  util::set_log_level(util::LogLevel::kWarn);
+}
+
+TEST(StageBudget, ExhaustedDgrBudgetDegradesToFallback) {
+  util::set_log_level(util::LogLevel::kError);
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  PipelineOptions popts;
+  popts.budgets.route_seconds = 1e-9;  // expires before the first iteration
+  Pipeline pipe(ctx, popts);
+  const PipelineResult r = pipe.run("dgr", fast_options());
+  // The route stage timed out, the pipeline degraded to cugr2-lite through
+  // the registry (warm-started from DGR's last healthy extraction), and the
+  // run still produced full eval metrics.
+  EXPECT_TRUE(r.stats.degraded);
+  EXPECT_EQ(r.stats.router, "dgr");
+  EXPECT_TRUE(r.stats.status.ok()) << r.stats.status.to_string();
+  EXPECT_EQ(r.stats.counter("degraded"), 1.0);
+  EXPECT_GT(r.stats.stage_seconds("fallback_route"), 0.0);
+  ASSERT_FALSE(r.solution.nets.empty());
+  EXPECT_TRUE(r.solution.connects_all_pins());
+  expect_direction_legal(r.solution, d.grid());
+  EXPECT_GT(r.metrics.wirelength, 0);
+  util::set_log_level(util::LogLevel::kWarn);
+}
+
+TEST(StageBudget, DisabledFallbackSurfacesStageTimeout) {
+  util::set_log_level(util::LogLevel::kError);
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  PipelineOptions popts;
+  popts.budgets.route_seconds = 1e-9;
+  popts.budgets.fallback_router.clear();
+  Pipeline pipe(ctx, popts);
+  const PipelineResult r = pipe.run("dgr", fast_options());
+  EXPECT_EQ(r.stats.status.code(), StatusCode::kStageTimeout);
+  EXPECT_FALSE(r.stats.degraded);
+  // The solver's best-checkpoint contract still yields a usable solution.
+  ASSERT_FALSE(r.solution.nets.empty());
+  EXPECT_TRUE(r.solution.connects_all_pins());
+  EXPECT_GT(r.metrics.wirelength, 0);
+  util::set_log_level(util::LogLevel::kWarn);
+}
+
+TEST(StageBudget, BudgetedBaselineMarksDegradedWithoutFallback) {
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  PipelineOptions popts;
+  popts.budgets.route_seconds = 1e-9;
+  Pipeline pipe(ctx, popts);
+  // cugr2-lite cut short by the budget still returns its whole initial
+  // pass; it is marked degraded but needs no fallback (status stays OK).
+  const PipelineResult r = pipe.run("cugr2-lite");
+  EXPECT_TRUE(r.stats.degraded);
+  EXPECT_TRUE(r.stats.status.ok());
+  EXPECT_DOUBLE_EQ(r.stats.stage_seconds("fallback_route"), 0.0);
+  EXPECT_TRUE(r.solution.connects_all_pins());
+}
+
+// ---------------------------------------------------------------------------
+// Validation gate
+// ---------------------------------------------------------------------------
+
+TEST(ValidationGate, CleanRunValidatesAndStaysOk) {
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  Pipeline pipe(ctx);
+  const PipelineResult r = pipe.run("dgr", fast_options());
+  EXPECT_TRUE(r.validation.status.ok());
+  EXPECT_TRUE(r.validation.demand_consistent);
+  EXPECT_EQ(r.stats.repaired_nets, 0);
+  EXPECT_GT(r.validation.checked_nets, 0);
+  bool has_validate_stage = false;
+  for (const auto& s : r.stats.stages) has_validate_stage |= (s.stage == "validate");
+  EXPECT_TRUE(has_validate_stage);
+}
+
+TEST(ValidationGate, RepairsDeliberatelyBrokenNet) {
+  util::set_log_level(util::LogLevel::kError);
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  const std::unique_ptr<Router> router = make_router("cugr2-lite");
+  eval::RouteSolution sol = router->route(ctx);
+  ASSERT_FALSE(sol.nets.empty());
+
+  // Break one net outright: drop its geometry while the live demand still
+  // counts it. The gate must flag both the net and the accounting drift.
+  sol.nets[0].paths.clear();
+  const ValidationReport before = validate_solution(ctx, sol);
+  EXPECT_EQ(before.status.code(), StatusCode::kValidationFailed);
+  ASSERT_EQ(before.broken_nets, std::vector<std::size_t>{0});
+  EXPECT_FALSE(before.demand_consistent);
+
+  // Resync (what the pipeline does on drift), then repair.
+  ctx.reset_demand();
+  ctx.commit(sol);
+  const std::int64_t repaired = repair_broken_nets(ctx, sol, before.broken_nets);
+  EXPECT_EQ(repaired, 1);
+  const ValidationReport after = validate_solution(ctx, sol);
+  EXPECT_TRUE(after.status.ok()) << after.status.to_string();
+  EXPECT_TRUE(sol.connects_all_pins());
+  expect_direction_legal(sol, d.grid());
+  util::set_log_level(util::LogLevel::kWarn);
+}
+
+TEST(ValidationGate, BrokenWarmStartIsRepairedInsidePipelineRun) {
+  util::set_log_level(util::LogLevel::kError);
+  const design::Design d = small_design();
+  RoutingContext ctx(d);
+  Pipeline pipe(ctx);
+  // sproute-lite adopts warm-start routes verbatim for nets it does not rip
+  // up; feeding it a solution with one gutted net exercises the in-pipeline
+  // gate end to end.
+  const PipelineResult prior = pipe.run("sproute-lite");
+  eval::RouteSolution broken = prior.solution;
+  ASSERT_FALSE(broken.nets.empty());
+  broken.nets[0].paths.clear();
+  const PipelineResult repaired = pipe.rerun("sproute-lite", std::move(broken));
+  EXPECT_TRUE(repaired.stats.status.ok()) << repaired.stats.status.to_string();
+  EXPECT_TRUE(repaired.solution.connects_all_pins());
+  EXPECT_TRUE(repaired.validation.status.ok());
+  util::set_log_level(util::LogLevel::kWarn);
+}
+
 }  // namespace
 }  // namespace dgr::pipeline

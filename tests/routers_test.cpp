@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "design/generator.hpp"
 #include "eval/metrics.hpp"
 #include "routers/cugr2lite.hpp"
@@ -64,6 +66,27 @@ TEST(Maze, SourceEqualsTarget) {
   ASSERT_TRUE(r.found);
   EXPECT_DOUBLE_EQ(r.cost, 0.0);
   EXPECT_EQ(r.cells.size(), 1u);
+  EXPECT_TRUE(r.status.ok());
+}
+
+TEST(Maze, UnreachableTargetReportsTypedStatus) {
+  // An all-infinite cost surface strands the target: the result must say
+  // *why* there is no path, not just hand back an empty cell list.
+  const GCellGrid grid = GCellGrid::uniform(6, 6, 2, 1);
+  const MazeResult r = maze_route(grid, {{0, 0}}, {5, 5}, [](grid::EdgeId) {
+    return std::numeric_limits<double>::infinity();
+  });
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.cells.empty());
+  EXPECT_EQ(r.status.code(), StatusCode::kUnreachableTarget);
+  EXPECT_FALSE(r.status.message().empty());
+}
+
+TEST(Maze, EmptySourceSetIsInvalidArgument) {
+  const GCellGrid grid = GCellGrid::uniform(6, 6, 2, 1);
+  const MazeResult r = maze_route(grid, {}, {5, 5}, [](grid::EdgeId) { return 1.0; });
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(CompressCells, MergesCollinearRuns) {
@@ -158,6 +181,31 @@ TEST(Cugr2Lite, WirelengthNearHpwlOnEasyDesign) {
   const eval::Metrics m = eval::compute_metrics(sol, d.capacities());
   EXPECT_GE(m.wirelength, hpwl);
   EXPECT_LE(m.wirelength, 2 * hpwl);  // pattern routes stay near-minimal
+}
+
+TEST(Cugr2Lite, TimeBudgetStopsRrrButReturnsWholeSolution) {
+  const Design d = congested_design();
+  Cugr2LiteOptions opts;
+  opts.rrr_rounds = 1000;  // would run forever without the budget
+  opts.time_budget_seconds = 1e-9;
+  Cugr2Lite router(d, d.capacities(), opts);
+  Cugr2LiteStats stats;
+  const eval::RouteSolution sol = router.route(&stats);
+  EXPECT_TRUE(stats.timed_out);
+  EXPECT_EQ(stats.rounds_run, 0);  // initial pass completed, no RRR round ran
+  EXPECT_TRUE(sol.connects_all_pins());
+}
+
+TEST(SpRouteLite, TimeBudgetStopsNegotiationButReturnsWholeSolution) {
+  const Design d = congested_design();
+  SpRouteLiteOptions opts;
+  opts.max_rounds = 1000;
+  opts.time_budget_seconds = 1e-9;
+  SpRouteLite router(d, d.capacities(), opts);
+  SpRouteLiteStats stats;
+  const eval::RouteSolution sol = router.route(&stats);
+  EXPECT_TRUE(stats.timed_out);
+  EXPECT_TRUE(sol.connects_all_pins());
 }
 
 // ---------------------------------------------------------------------------
