@@ -93,6 +93,9 @@ int main() {
 
   eval::TablePrinter table({"variant", "paths", "ovf edges", "total ovf", "WL",
                             "vias", "solve (s)"});
+  obs::BenchEmitter emitter = bench::make_emitter(
+      "ablation_dgr", "ablation of DGR paper Sections 3.1/4.2/4.4-4.6");
+  emitter.set_config("case", preset.name);
 
   for (const Variant& v : variants) {
     pipeline::RouterOptions ro;
@@ -109,7 +112,17 @@ int main() {
                    eval::fmt_double(r.metrics.total_overflow, 1),
                    eval::fmt_int(r.metrics.wirelength),
                    eval::fmt_int(r.layers.via_count), eval::fmt_double(secs, 2)});
+
+    emitter.add_row(v.name)
+        .metric("path_candidates", r.stats.counter("path_candidates"))
+        .metric("ovf_edges", r.metrics.overflow_edges)
+        .metric("total_overflow", r.metrics.total_overflow)
+        .metric("wirelength", static_cast<double>(r.metrics.wirelength))
+        .metric("vias", static_cast<double>(r.layers.via_count))
+        .metric("solve_seconds", secs)
+        .stages(bench::stage_pairs(r.stats));
   }
+  emitter.write();
 
   table.print(std::cout);
   std::cout << "\nReading guide: each row flips one design choice of DGR; the baseline\n"

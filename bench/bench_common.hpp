@@ -37,6 +37,17 @@ inline void begin_bench(const std::string& title, const std::string& paper_ref) 
   std::cout << "scale=" << bench_scale() << " (set DGR_BENCH_SCALE to resize)\n\n";
 }
 
+/// The unified emitter for BENCH_<name>.json, pre-stamped with the shared
+/// environment knobs so every artifact records how it was produced
+/// (validated against dgr-bench-v1 by bench/check_bench_schema).
+inline obs::BenchEmitter make_emitter(const std::string& name,
+                                      const std::string& paper_ref) {
+  obs::BenchEmitter emitter(name, paper_ref);
+  emitter.set_config("scale", bench_scale());
+  emitter.set_config("dgr_iterations", dgr_iterations());
+  return emitter;
+}
+
 /// DGR config for the Table 1 protocol: ReLU overflow objective only and
 /// argmax path extraction ("DGR directly picks the path with the largest
 /// probability", Section 5.1).
@@ -60,6 +71,15 @@ inline pipeline::RouterOptions dgr_router_options(int iterations) {
   options.dgr.iterations = iterations;
   options.dgr.temperature_interval = std::max(1, iterations / 10);
   return options;
+}
+
+/// RouterStats stage times as the name/seconds pairs BenchRow::stages takes.
+inline std::vector<std::pair<std::string, double>> stage_pairs(
+    const pipeline::RouterStats& stats) {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(stats.stages.size());
+  for (const auto& s : stats.stages) out.emplace_back(s.stage, s.seconds);
+  return out;
 }
 
 /// DGR solver time, excluding DAG-forest construction (Fig. 5 footnote 3).

@@ -1,0 +1,162 @@
+// check_bench_schema: validates BENCH_*.json artifacts against the
+// dgr-bench-v1 schema (obs::validate_bench_json, the single source of truth).
+//
+// Usage:
+//   check_bench_schema [--selftest] [file|dir ...]
+//
+// Each file argument is validated directly; each directory argument is
+// scanned (non-recursively) for BENCH_*.json. With no path arguments the
+// current directory is scanned. A scan that finds nothing is an error —
+// a silently empty scan would make the ctest wiring vacuous. --selftest
+// additionally exercises the validator against known-good and known-bad
+// documents so the gate itself is tested.
+//
+// Exit status: 0 when every check passes, 1 otherwise.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dgr/dgr.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using dgr::obs::json::Value;
+
+bool validate_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "FAIL " << path.string() << ": cannot open\n";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  Value doc;
+  std::string error;
+  if (!Value::parse(buffer.str(), &doc, &error)) {
+    std::cerr << "FAIL " << path.string() << ": not JSON: " << error << "\n";
+    return false;
+  }
+  if (!dgr::obs::validate_bench_json(doc, &error)) {
+    std::cerr << "FAIL " << path.string() << ": " << error << "\n";
+    return false;
+  }
+  std::cout << "ok   " << path.string() << "\n";
+  return true;
+}
+
+bool is_bench_artifact(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+         name.compare(name.size() - 5, 5, ".json") == 0;
+}
+
+bool selftest() {
+  bool ok = true;
+  auto expect = [&ok](bool got, bool want, const char* what) {
+    if (got != want) {
+      std::cerr << "FAIL selftest: " << what << " (expected "
+                << (want ? "valid" : "invalid") << ")\n";
+      ok = false;
+    }
+  };
+
+  // A minimal emitter round-trip must validate.
+  dgr::obs::BenchEmitter emitter("selftest", "schema self-check");
+  emitter.set_config("scale", 1.0);
+  emitter.add_row("case0").metric("value", 1.5).stage("route", 0.25).note(
+      "flag", "on");
+  emitter.summary("ratio", 2.0);
+  std::string error;
+  expect(dgr::obs::validate_bench_json(emitter.to_json(), &error), true,
+         "emitter output");
+  if (!error.empty()) std::cerr << "  validator said: " << error << "\n";
+
+  // Known violations must be rejected.
+  {
+    Value doc = emitter.to_json();
+    doc["schema"] = "dgr-bench-v0";
+    expect(dgr::obs::validate_bench_json(doc), false, "wrong schema id");
+  }
+  {
+    Value doc = Value::object();
+    doc["schema"] = dgr::obs::BenchEmitter::kSchemaId;
+    expect(dgr::obs::validate_bench_json(doc), false, "missing fields");
+  }
+  {
+    // Well-formed envelope, but a row metric holding a string.
+    Value doc = Value::object();
+    doc["schema"] = dgr::obs::BenchEmitter::kSchemaId;
+    doc["bench"] = "bad";
+    doc["reproduces"] = "schema self-check";
+    doc["hardware_threads"] = 1;
+    doc["config"] = Value::object();
+    Value row = Value::object();
+    row["case"] = "c";
+    Value metrics = Value::object();
+    metrics["value"] = "not a number";
+    row["metrics"] = std::move(metrics);
+    Value rows = Value::array();
+    rows.push_back(std::move(row));
+    doc["rows"] = std::move(rows);
+    doc["summary"] = Value::object();
+    expect(dgr::obs::validate_bench_json(doc), false, "non-number metric");
+  }
+
+  if (ok) std::cout << "ok   --selftest (4 cases)\n";
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool run_selftest = false;
+  std::vector<fs::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selftest") {
+      run_selftest = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: check_bench_schema [--selftest] [file|dir ...]\n";
+      return 0;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  bool ok = true;
+  if (run_selftest) ok = selftest() && ok;
+
+  if (paths.empty() && !run_selftest) paths.emplace_back(".");
+  int checked = 0;
+  for (const fs::path& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      int found = 0;
+      for (const auto& entry : fs::directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && is_bench_artifact(entry.path())) {
+          ok = validate_file(entry.path()) && ok;
+          ++found;
+        }
+      }
+      if (found == 0) {
+        std::cerr << "FAIL " << p.string() << ": no BENCH_*.json found\n";
+        ok = false;
+      }
+      checked += found;
+    } else {
+      ok = validate_file(p) && ok;
+      ++checked;
+    }
+  }
+
+  if (!paths.empty()) {
+    std::cout << checked << " artifact(s) checked\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -26,6 +26,9 @@ int main() {
 
   eval::TablePrinter table({"# nets", "grid", "forest build (s)", "DGR solve (s)",
                             "CUGR2-lite (s)", "peak RSS (MB)", "solver bytes (MB)"});
+  obs::BenchEmitter emitter = bench::make_emitter(
+      "fig5_scalability", "DGR paper Fig. 5a/5b (DAC'24); CPU substrate");
+  emitter.set_config("iterations_per_point", iters);
 
   for (const int nets : net_counts) {
     design::IspdLikeParams p;
@@ -59,7 +62,17 @@ int main() {
                    eval::fmt_double(build_s, 3), eval::fmt_double(solve_s, 3),
                    eval::fmt_double(base_s, 3), eval::fmt_double(rss_mb, 1),
                    eval::fmt_double(solver_mb, 1)});
+
+    emitter.add_row("n" + std::to_string(nets))
+        .metric("nets", nets)
+        .metric("grid", g)
+        .metric("forest_build_seconds", build_s)
+        .metric("dgr_solve_seconds", solve_s)
+        .metric("cugr2_seconds", base_s)
+        .metric("peak_rss_mb", rss_mb)
+        .metric("solver_mb", solver_mb);
   }
+  emitter.write();
 
   table.print(std::cout);
   std::cout << "\nPaper claims to check (5a): DGR runtime grows roughly linearly in\n"

@@ -1,8 +1,8 @@
 // Micro-benchmarks (google-benchmark) of the ad:: kernels and of a full DGR
 // training iteration — the per-iteration cost that Figure 5a's runtime curve
 // is built from. The custom main() additionally emits BENCH_micro_kernels.json
-// (benchmark name -> ns/iter, plus the fused-vs-unfused iteration speedup per
-// worker count) into the working directory.
+// (dgr-bench-v1: one row per benchmark with ns/iter, plus the fused-vs-unfused
+// iteration speedup per worker count in the summary) into the working dir.
 
 #include <benchmark/benchmark.h>
 
@@ -264,28 +264,21 @@ double find_ns(const std::vector<std::pair<std::string, double>>& results,
 
 void write_json(const std::vector<std::pair<std::string, double>>& results,
                 const char* path) {
-  std::ofstream out(path);
-  if (!out) return;
-  out << "{\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
-      << ",\n  \"benchmarks\": {\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    out << "    \"" << results[i].first << "\": " << results[i].second
-        << (i + 1 < results.size() ? "," : "") << "\n";
+  obs::BenchEmitter emitter("micro_kernels",
+                            "per-iteration kernel costs behind Fig. 5a (DAC'24)");
+  for (const auto& [name, ns] : results) {
+    emitter.add_row(name).metric("ns_per_iter", ns);
   }
-  out << "  },\n  \"fused_speedup\": {\n";
   // For every benchmark whose last argument is the fused flag, report
   // unfused ns / fused ns under the name with the flag stripped.
-  bool first = true;
   for (const auto& [name, unfused_ns] : results) {
     if (name.size() < 2 || name.compare(name.size() - 2, 2, "/0") != 0) continue;
     const std::string base = name.substr(0, name.size() - 2);
     const double fused_ns = find_ns(results, base + "/1");
     if (fused_ns <= 0.0) continue;
-    if (!first) out << ",\n";
-    first = false;
-    out << "    \"" << base << "\": " << unfused_ns / fused_ns;
+    emitter.summary("fused_speedup/" + base, unfused_ns / fused_ns);
   }
-  out << "\n  }\n}\n";
+  emitter.write(path);
 }
 
 }  // namespace

@@ -1,0 +1,76 @@
+// Pipeline stage breakdown: every registered router through one Pipeline on
+// the same congested case, cold (fresh context per router so nothing is
+// amortised across rows). Emits BENCH_pipeline.json (dgr-bench-v1) with one
+// row per router: quality metrics plus the per-stage wall-time split and the
+// obs counters the run produced. This is the unified-emitter showcase — the
+// artifact the trace quickstart in README.md pairs with.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dgr;
+  bench::begin_bench("Pipeline — per-router stage breakdown",
+                     "stage split behind the DGR paper's runtime discussion (DAC'24)");
+
+  const int iters = bench::dgr_iterations();
+  auto presets = design::table2_presets(bench::bench_scale());
+  const auto& preset = presets[0];  // ispd18_5m-like congested case
+
+  obs::BenchEmitter emitter = bench::make_emitter(
+      "pipeline", "stage split behind the DGR paper's runtime discussion");
+  emitter.set_config("case", preset.name);
+
+  eval::TablePrinter table({"router", "ovf edges", "total ovf", "WL", "vias",
+                            "route (s)", "total (s)"});
+
+  for (const std::string& name : pipeline::registered_routers()) {
+    // Fresh design + context per router: cold DAG forest, cold caches.
+    const design::Design d = design::generate_ispd_like(preset, /*seed=*/707);
+    pipeline::RoutingContext ctx(d);
+    pipeline::Pipeline pipe(ctx);
+    obs::metrics().reset();
+
+    pipeline::RouterOptions ro;
+    if (name == "dgr") ro = bench::dgr_router_options(iters);
+    const pipeline::PipelineResult r = pipe.run(
+        name, ro, pipeline::StagePlan{.maze_refine = true, .layer_assign = true});
+
+    double total_s = 0.0;
+    for (const auto& s : r.stats.stages) total_s += s.seconds;
+
+    table.add_row({name, eval::fmt_int(r.metrics.overflow_edges),
+                   eval::fmt_double(r.metrics.total_overflow, 1),
+                   eval::fmt_int(r.metrics.wirelength),
+                   eval::fmt_int(r.layers.via_count),
+                   eval::fmt_double(r.stats.stage_seconds("route_total"), 2),
+                   eval::fmt_double(total_s, 2)});
+
+    obs::BenchRow& row = emitter.add_row(name)
+                             .metric("ovf_edges", r.metrics.overflow_edges)
+                             .metric("total_overflow", r.metrics.total_overflow)
+                             .metric("wirelength",
+                                     static_cast<double>(r.metrics.wirelength))
+                             .metric("vias",
+                                     static_cast<double>(r.layers.via_count))
+                             .metric("total_seconds", total_s)
+                             .stages(bench::stage_pairs(r.stats));
+    if (r.metrics.wirelength == 0) {
+      // Refinement-only routers route empty when cold (see Router docs).
+      row.note("cold_start", "empty_solution");
+    }
+    // Fold the run's process-wide counters in as metrics; the registry was
+    // reset above, so these are attributable to this router alone.
+    const obs::json::Value snap = obs::metrics().snapshot();
+    if (const obs::json::Value* counters = snap.find("counters")) {
+      for (const auto& [cname, cval] : counters->members()) {
+        row.metric("counter/" + cname, cval.as_number());
+      }
+    }
+  }
+  emitter.write();
+
+  table.print(std::cout);
+  std::cout << "\nReading guide: route (s) is the router-owned stage; the gap to\n"
+            << "total (s) is maze refinement, layer assignment and evaluation.\n";
+  return 0;
+}

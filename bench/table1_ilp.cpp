@@ -81,6 +81,9 @@ int main() {
 
   eval::TablePrinter table({"Grid", "cap_e", "Net #", "box", "ILP (s)", "DGR (s)",
                             "ILP ovf", "DGR*", "DGR best", "DGR worst"});
+  obs::BenchEmitter emitter = bench::make_emitter(
+      "table1_ilp", "DGR paper Table 1 (DAC'24), sizes scaled");
+  emitter.set_config("ilp_timeout_seconds", bench::ilp_timeout());
 
   double sum_ilp_ovf = 0.0, sum_dgr_ovf = 0.0;
   bool any_ilp = false;
@@ -150,6 +153,21 @@ int main() {
                    eval::fmt_double(dgr_seconds, 2), eval::fmt_or_na(ilp_ok, ilp_overflow, 0),
                    eval::fmt_double(star, 0), eval::fmt_double(best, 0),
                    eval::fmt_double(worst, 0)});
+
+    obs::BenchRow& br = emitter
+                            .add_row(std::to_string(row.grid) + "x" +
+                                     std::to_string(row.grid) + "/cap" +
+                                     std::to_string(row.cap) + "/n" +
+                                     std::to_string(row.nets))
+                            .metric("nets", row.nets)
+                            .metric("dgr_seconds", dgr_seconds)
+                            .metric("dgr_star_overflow", star)
+                            .metric("dgr_best_overflow", best)
+                            .metric("dgr_worst_overflow", worst)
+                            .note("ilp", ilp_ok ? "optimal" : "timeout");
+    if (ilp_ok) {
+      br.metric("ilp_seconds", ilp_seconds).metric("ilp_overflow", ilp_overflow);
+    }
   }
 
   table.add_separator();
@@ -157,6 +175,11 @@ int main() {
     table.add_row({"Ratio", "", "", "", "", "", eval::fmt_ratio(sum_ilp_ovf / sum_dgr_ovf),
                    "1.0000", "", ""});
   }
+  if (any_ilp && sum_dgr_ovf > 0.0) {
+    emitter.summary("ilp_over_dgr_overflow_ratio", sum_ilp_ovf / sum_dgr_ovf);
+  }
+  emitter.write();
+
   table.print(std::cout);
   std::cout << "\nN/A = ILP exceeded the DGR_ILP_TIMEOUT limit ("
             << bench::ilp_timeout() << " s; paper used 8 hours).\n"

@@ -18,6 +18,9 @@ int main() {
   eval::TablePrinter table({"Benchmark", "ovf SPR", "ovf Lag", "ovf DGR", "WL SPR",
                             "WL Lag", "WL DGR", "Via SPR", "Via Lag", "Via DGR"});
 
+  obs::BenchEmitter emitter = bench::make_emitter(
+      "table3_ispd18", "DGR paper Table 3 (DAC'24); generated ispd18-like ladder");
+
   double sum_wl[3] = {0, 0, 0}, sum_via[3] = {0, 0, 0}, sum_ovf[3] = {0, 0, 0};
 
   for (const auto& preset : presets) {
@@ -48,6 +51,17 @@ int main() {
                    eval::fmt_int(spr.wirelength), eval::fmt_int(lag.wirelength),
                    eval::fmt_int(dgr_m.wirelength), eval::fmt_int(spr_v),
                    eval::fmt_int(lag_v), eval::fmt_int(dgr_v)});
+
+    emitter.add_row(preset.name)
+        .metric("ovf_edges_sproute", spr.overflow_edges)
+        .metric("ovf_edges_lagrangian", lag.overflow_edges)
+        .metric("ovf_edges_dgr", dgr_m.overflow_edges)
+        .metric("wirelength_sproute", static_cast<double>(spr.wirelength))
+        .metric("wirelength_lagrangian", static_cast<double>(lag.wirelength))
+        .metric("wirelength_dgr", static_cast<double>(dgr_m.wirelength))
+        .metric("vias_sproute", static_cast<double>(spr_v))
+        .metric("vias_lagrangian", static_cast<double>(lag_v))
+        .metric("vias_dgr", static_cast<double>(dgr_v));
   }
 
   table.add_separator();
@@ -58,6 +72,15 @@ int main() {
                  ratio(sum_ovf[1], sum_ovf[2]), "1.0000", ratio(sum_wl[0], sum_wl[2]),
                  ratio(sum_wl[1], sum_wl[2]), "1.0000", ratio(sum_via[0], sum_via[2]),
                  ratio(sum_via[1], sum_via[2]), "1.0000"});
+  auto emit_ratio = [&](const char* name, double a, double b) {
+    if (b > 0.0) emitter.summary(name, a / b);
+  };
+  emit_ratio("wirelength_ratio_sproute", sum_wl[0], sum_wl[2]);
+  emit_ratio("wirelength_ratio_lagrangian", sum_wl[1], sum_wl[2]);
+  emit_ratio("via_ratio_sproute", sum_via[0], sum_via[2]);
+  emit_ratio("via_ratio_lagrangian", sum_via[1], sum_via[2]);
+  emitter.write();
+
   table.print(std::cout);
   std::cout << "\nPaper claim to check: all routers reach (near-)zero overflow on this\n"
             << "ladder while DGR's wirelength ratio is the lowest (paper: SPRoute 1.0408,\n"

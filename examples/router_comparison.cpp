@@ -4,10 +4,18 @@
 // prints a side-by-side quality/runtime table.
 //
 // Usage: example_router_comparison [num_nets] [grid] [seed]
+//                                  [--trace <file>] [--metrics <file>]
+//
+// --trace writes a Chrome trace_event JSON of the whole comparison (open in
+// chrome://tracing or https://ui.perfetto.dev); --metrics writes the obs
+// metrics-registry snapshot. Both also enable solver convergence telemetry.
 
 #include <cstdio>
-#include <iostream>
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "dgr/dgr.hpp"
 
@@ -15,9 +23,33 @@ int main(int argc, char** argv) {
   using namespace dgr;
   util::set_log_level(util::LogLevel::kWarn);
 
-  const int nets = argc > 1 ? std::atoi(argv[1]) : 800;
-  const int grid = argc > 2 ? std::atoi(argv[2]) : 28;
-  const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 7;
+  std::string trace_path;
+  std::string metrics_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
+  const int nets = positional.size() > 0 ? std::atoi(positional[0]) : 800;
+  const int grid = positional.size() > 1 ? std::atoi(positional[1]) : 28;
+  const std::uint64_t seed =
+      positional.size() > 2 ? static_cast<std::uint64_t>(std::atoll(positional[2])) : 7;
+
+  const bool observing = !trace_path.empty() || !metrics_path.empty();
+  if (!trace_path.empty()) {
+    if (!obs::compiled_in()) {
+      std::fprintf(stderr, "warning: built with DGR_OBS=OFF; trace will be empty\n");
+    }
+    obs::reset_trace();
+    obs::set_tracing(true);
+  }
+  if (observing) obs::metrics().reset();
 
   design::IspdLikeParams params;
   params.name = "compare";
@@ -40,6 +72,9 @@ int main(int argc, char** argv) {
   pipeline::RouterOptions options;
   options.dgr.iterations = 600;
   options.dgr.temperature_interval = 60;
+  // With observation on, also capture the per-iteration convergence series
+  // (it rides along in RouterStats and as dgr.* trace counters).
+  options.dgr.record_telemetry = observing;
 
   for (const std::string& name : pipeline::registered_routers()) {
     const auto router = pipeline::make_router(name, options);
@@ -58,5 +93,25 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout);
+
+  if (!trace_path.empty()) {
+    obs::set_tracing(false);
+    if (obs::write_chrome_trace(trace_path)) {
+      std::printf("\ntrace: %s (%zu events; open in chrome://tracing)\n",
+                  trace_path.c_str(), obs::trace_event_count());
+    } else {
+      std::fprintf(stderr, "error: could not write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (obs::metrics().write_snapshot(metrics_path)) {
+      std::printf("metrics: %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

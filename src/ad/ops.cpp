@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace dgr::ad {
@@ -321,6 +322,7 @@ FusedSelectionDemand fused_softmax_demand(
     const std::vector<std::int32_t>& tree_path_offsets, const SparseIncidence& inc,
     float temperature, const std::vector<float>* path_noise,
     const std::vector<float>* tree_noise) {
+  DGR_TRACE_SCOPE("ad.fused_softmax_demand");
   const std::size_t np = tape.size(path_logits);
   const std::size_t nt = tape.size(tree_logits);
   if (path_offsets.size() < 2 || tree_offsets.size() < 2) {
@@ -418,6 +420,7 @@ FusedSelectionDemand fused_softmax_demand(
   tape.record([&tape, path_logits, tree_logits, out, &path_offsets, &tree_offsets,
                &path_tree, &tree_path_offsets, inc, temperature, np, nt, n_pgroups,
                n_tgroups] {
+    DGR_TRACE_SCOPE("ad.fused_softmax_demand.bwd");
     const float* pv = tape.value(out.p).data();
     const float* qv = tape.value(out.q).data();
     const double* gdemand = tape.grad(out.demand).data();
@@ -484,6 +487,7 @@ FusedSelectionDemand fused_softmax_demand(
 
 NodeId fused_overflow_cost(Tape& tape, NodeId x, const std::vector<float>& c,
                            Activation act, float alpha, std::size_t block) {
+  DGR_TRACE_SCOPE("ad.fused_overflow_cost");
   const std::size_t n = tape.size(x);
   if (c.size() != n) throw std::invalid_argument("fused_overflow_cost: size mismatch");
   if (block == 0) block = 1;
@@ -524,6 +528,7 @@ NodeId fused_overflow_cost(Tape& tape, NodeId x, const std::vector<float>& c,
 
   // `c` is captured by reference (lifetime contract: it must outlive the tape).
   tape.record([&tape, x, out, &c, act, alpha, n, activated] {
+    DGR_TRACE_SCOPE("ad.fused_overflow_cost.bwd");
     const double g = tape.grad(out)[0];
     const float* xv = tape.value(x).data();
     const float* cv = c.data();

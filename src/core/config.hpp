@@ -36,6 +36,13 @@ struct DgrConfig {
 
   bool record_history = false;  ///< keep per-iteration cost curves
 
+  /// Record the full convergence telemetry series (loss, overflow
+  /// expectation, temperature, gradient norm, rollback events — the data
+  /// behind the paper's Fig. 5/6 convergence plots) into
+  /// TrainStats::telemetry. The buffer is pre-reserved for `iterations`
+  /// samples so the train loop performs no per-step heap allocation.
+  bool record_telemetry = false;
+
   // ---- numeric health / fault tolerance (DESIGN.md §7) --------------------
   /// Finite-check the loss and gradients every iteration *before* the Adam
   /// step, so a NaN can never corrupt the optimizer moments. On a failed

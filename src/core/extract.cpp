@@ -10,10 +10,12 @@
 #include <numeric>
 
 #include "core/solver.hpp"
+#include "obs/trace.hpp"
 
 namespace dgr::core {
 
 eval::RouteSolution DgrSolver::extract() const {
+  DGR_TRACE_SCOPE("core.extract");
   const float t_final = temperature_at(config_.iterations - 1);
   const std::vector<float> q = tree_probs(t_final);
   const std::vector<float> p = path_probs(t_final);

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -101,6 +103,7 @@ DgrSolver::Forward DgrSolver::build_forward(ad::Tape& tape, float temperature,
 }
 
 double DgrSolver::train_step(int iteration) {
+  DGR_TRACE_SCOPE("core.train_step");
   const float t = temperature_at(iteration);
   const std::size_t np = relax_.path_count();
   const std::size_t nt = relax_.tree_count();
@@ -142,9 +145,16 @@ double DgrSolver::train_step(int iteration) {
   // vector — any NaN/Inf poisons the running sum, so one isfinite() at the
   // end covers every element (a finite sum of this many bounded gradients
   // cannot overflow). Checked BEFORE the Adam step so a poisoned gradient
-  // never reaches the optimizer moments.
+  // never reaches the optimizer moments. The squared sum rides along in the
+  // same sweep for the convergence telemetry's gradient norm.
   double grad_acc = 0.0;
-  for (const double g : grads) grad_acc += g;
+  double grad_sq = 0.0;
+  for (const double g : grads) {
+    grad_acc += g;
+    grad_sq += g * g;
+  }
+  last_grad_norm_ = std::sqrt(grad_sq);
+  last_breakdown_ = fw.breakdown;
   last_step_finite_ = std::isfinite(cost) && std::isfinite(grad_acc);
   if (config_.health_checks && !last_step_finite_) {
     return cost;  // skip the update; train() decides whether to roll back
@@ -155,9 +165,16 @@ double DgrSolver::train_step(int iteration) {
 }
 
 TrainStats DgrSolver::train() {
+  DGR_TRACE_SCOPE("core.train");
   TrainStats stats;
   util::Timer timer;
   if (config_.record_history) stats.cost_history.reserve(static_cast<std::size_t>(config_.iterations));
+  // Telemetry capacity is reserved once, up front: the train loop must do
+  // no per-step heap allocation (pushes past this capacity are counted by
+  // the obs.convergence.unreserved_growth metric and asserted zero in tests).
+  if (config_.record_telemetry) {
+    stats.telemetry.reserve(static_cast<std::size_t>(config_.iterations));
+  }
 
   // The seeded initialisation is always a legal restore point; after that
   // the checkpoint tracks the best (lowest training cost) iterate seen.
@@ -199,17 +216,33 @@ TrainStats DgrSolver::train() {
       DGR_LOG_WARN("train: non-finite loss/gradients at iteration %d; rollback %d/%d to "
                    "iteration %d",
                    it, stats.rollbacks, config_.max_rollbacks, best.next_iteration);
+      DGR_TRACE_INSTANT("core.rollback");
       params_ = best.params;
       adam_.reset();
       ++noise_generation_;
       if (config_.record_history) {
         stats.cost_history.resize(static_cast<std::size_t>(best.next_iteration));
       }
+      if (config_.record_telemetry) {
+        // Rewind the kept trajectory; the rollback event itself survives.
+        stats.telemetry.truncate(static_cast<std::size_t>(best.next_iteration));
+        stats.telemetry.rollbacks.push_back({it, best.next_iteration});
+      }
       it = best.next_iteration;
       continue;
     }
 
     if (config_.record_history) stats.cost_history.push_back(cost);
+    if (config_.record_telemetry) {
+      stats.telemetry.push(
+          {it, cost, last_breakdown_.overflow, temperature_at(it), last_grad_norm_});
+    }
+    // Per-iteration counter series for the Chrome trace (one relaxed load
+    // each when tracing is off).
+    DGR_TRACE_COUNTER("dgr.loss", cost);
+    DGR_TRACE_COUNTER("dgr.overflow", last_breakdown_.overflow);
+    DGR_TRACE_COUNTER("dgr.temperature", temperature_at(it));
+    DGR_TRACE_COUNTER("dgr.grad_norm", last_grad_norm_);
     if (cost < best.cost) {
       best.cost = cost;
       best.params = params_;
@@ -228,6 +261,10 @@ TrainStats DgrSolver::train() {
 
   stats.iterations_run = steps_executed;
   stats.train_seconds = timer.seconds();
+  obs::metrics().counter("core.train.iterations").add(steps_executed);
+  if (stats.rollbacks > 0) {
+    obs::metrics().counter("core.train.rollbacks").add(stats.rollbacks);
+  }
   stats.final_cost = evaluate(temperature_at(std::clamp(it, 0, std::max(0, config_.iterations - 1))));
   stats.tape_bytes = peak_tape_bytes_;
   return stats;

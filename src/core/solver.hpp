@@ -16,6 +16,7 @@
 #include "core/config.hpp"
 #include "core/relaxation.hpp"
 #include "eval/solution.hpp"
+#include "obs/convergence.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 
@@ -33,6 +34,11 @@ struct TrainStats {
   double train_seconds = 0.0;
   CostBreakdown final_cost;            ///< noise-free cost at final temperature
   std::vector<double> cost_history;    ///< per-iteration training cost (if recorded)
+  /// Convergence telemetry (when DgrConfig::record_telemetry): loss,
+  /// overflow expectation, temperature, gradient norm per kept iteration
+  /// plus rollback events. Pre-reserved; rewound on rollback like
+  /// cost_history so samples align with the kept trajectory.
+  obs::ConvergenceSeries telemetry;
   std::size_t tape_bytes = 0;          ///< peak tape footprint ("GPU memory" proxy)
   int rollbacks = 0;                   ///< divergence rollbacks taken (health sentinel)
   /// OK on a clean run; kNumericDivergence when the rollback budget was
@@ -61,6 +67,11 @@ class DgrSolver {
 
   /// Numeric-health verdict of the most recent train_step().
   bool last_step_finite() const { return last_step_finite_; }
+
+  /// L2 norm of the full parameter gradient of the most recent train_step().
+  double last_grad_norm() const { return last_grad_norm_; }
+  /// Cost breakdown of the most recent train_step() (stochastic forward).
+  const CostBreakdown& last_breakdown() const { return last_breakdown_; }
 
   /// Noise-free expected cost at temperature t (forward only).
   CostBreakdown evaluate(float temperature) const;
@@ -114,6 +125,8 @@ class DgrSolver {
   float via_cost_scale_ = 1.0f;  ///< √L of Eq. (5)
   std::size_t peak_tape_bytes_ = 0;
   bool last_step_finite_ = true;
+  double last_grad_norm_ = 0.0;
+  CostBreakdown last_breakdown_;
   /// Bumped on every rollback so the replayed iterations draw fresh Gumbel
   /// noise (replaying the exact diverging trajectory would just diverge
   /// again). Deterministic: a pure function of the rollback count.

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace dgr::dag {
@@ -69,6 +70,7 @@ NetForest build_net(const TreeCandidateGenerator& gen, const ForestOptions& opts
 }  // namespace
 
 DagForest DagForest::build(const Design& design, const ForestOptions& opts) {
+  DGR_TRACE_SCOPE("dag.forest_build");
   DagForest forest;
   forest.design_ = &design;
   forest.opts_ = opts;

@@ -33,6 +33,7 @@
 #include "ilp/branch_bound.hpp"
 #include "ilp/routing_ilp.hpp"
 #include "ilp/simplex.hpp"
+#include "obs/obs.hpp"
 #include "pipeline/adapters.hpp"
 #include "pipeline/context.hpp"
 #include "pipeline/pipeline.hpp"

@@ -1,0 +1,202 @@
+#include "obs/bench_emitter.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+namespace dgr::obs {
+
+namespace {
+
+void set_pair(std::vector<std::pair<std::string, double>>& pairs, const std::string& key,
+              double value) {
+  for (auto& [k, v] : pairs) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  pairs.emplace_back(key, value);
+}
+
+}  // namespace
+
+BenchRow& BenchRow::metric(std::string name, double value) {
+  set_pair(metrics_, name, value);
+  return *this;
+}
+
+BenchRow& BenchRow::stage(std::string name, double seconds) {
+  set_pair(stages_, name, seconds);
+  return *this;
+}
+
+BenchRow& BenchRow::note(std::string name, std::string value) {
+  for (auto& [k, v] : notes_) {
+    if (k == name) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  notes_.emplace_back(std::move(name), std::move(value));
+  return *this;
+}
+
+BenchRow& BenchRow::metrics(const std::vector<std::pair<std::string, double>>& pairs) {
+  for (const auto& [k, v] : pairs) metric(k, v);
+  return *this;
+}
+
+BenchRow& BenchRow::stages(const std::vector<std::pair<std::string, double>>& pairs) {
+  for (const auto& [k, v] : pairs) stage(k, v);
+  return *this;
+}
+
+BenchEmitter::BenchEmitter(std::string bench, std::string reproduces)
+    : bench_(std::move(bench)), reproduces_(std::move(reproduces)) {}
+
+void BenchEmitter::set_config(const std::string& key, double value) {
+  config_[key] = value;
+}
+
+void BenchEmitter::set_config(const std::string& key, std::string value) {
+  config_[key] = std::move(value);
+}
+
+BenchRow& BenchEmitter::add_row(std::string case_name) {
+  rows_.push_back(BenchRow(std::move(case_name)));
+  return rows_.back();
+}
+
+void BenchEmitter::summary(const std::string& name, double value) {
+  set_pair(summary_, name, value);
+}
+
+json::Value BenchEmitter::to_json() const {
+  json::Value doc = json::Value::object();
+  doc["schema"] = kSchemaId;
+  doc["bench"] = bench_;
+  doc["reproduces"] = reproduces_;
+  doc["hardware_threads"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  doc["config"] = config_;
+  json::Value& rows = doc["rows"];
+  rows = json::Value::array();
+  for (const BenchRow& row : rows_) {
+    json::Value r = json::Value::object();
+    r["case"] = row.case_;
+    json::Value& metrics = r["metrics"];
+    metrics = json::Value::object();
+    for (const auto& [k, v] : row.metrics_) metrics[k] = v;
+    if (!row.stages_.empty()) {
+      json::Value& stages = r["stages"];
+      stages = json::Value::object();
+      for (const auto& [k, v] : row.stages_) stages[k] = v;
+    }
+    if (!row.notes_.empty()) {
+      json::Value& notes = r["notes"];
+      notes = json::Value::object();
+      for (const auto& [k, v] : row.notes_) notes[k] = v;
+    }
+    rows.push_back(std::move(r));
+  }
+  json::Value& summary = doc["summary"];
+  summary = json::Value::object();
+  for (const auto& [k, v] : summary_) summary[k] = v;
+  return doc;
+}
+
+bool BenchEmitter::write(const std::string& path) const {
+  const std::string dest = path.empty() ? default_path() : path;
+  std::ofstream out(dest);
+  if (!out) return false;
+  out << to_json().dump(2) << "\n";
+  if (!out) return false;
+  std::fprintf(stderr, "[bench] wrote %s (%zu rows)\n", dest.c_str(), rows_.size());
+  return true;
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+bool check_numeric_object(const json::Value* v, const char* what, std::string* error) {
+  if (v == nullptr) return true;  // optional sections
+  if (!v->is_object()) return fail(error, std::string(what) + " is not an object");
+  for (const auto& [k, val] : v->members()) {
+    if (!val.is_number()) {
+      return fail(error, std::string(what) + "." + k + " is not a number");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_bench_json(const json::Value& doc, std::string* error) {
+  if (!doc.is_object()) return fail(error, "document is not an object");
+
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return fail(error, "missing string field 'schema'");
+  }
+  if (schema->as_string() != BenchEmitter::kSchemaId) {
+    return fail(error, "unknown schema '" + schema->as_string() + "' (want " +
+                           std::string(BenchEmitter::kSchemaId) + ")");
+  }
+  for (const char* key : {"bench", "reproduces"}) {
+    const json::Value* v = doc.find(key);
+    if (v == nullptr || !v->is_string() || v->as_string().empty()) {
+      return fail(error, std::string("missing non-empty string field '") + key + "'");
+    }
+  }
+  const json::Value* threads = doc.find("hardware_threads");
+  if (threads == nullptr || !threads->is_number()) {
+    return fail(error, "missing number field 'hardware_threads'");
+  }
+  const json::Value* config = doc.find("config");
+  if (config == nullptr || !config->is_object()) {
+    return fail(error, "missing object field 'config'");
+  }
+  for (const auto& [k, v] : config->members()) {
+    if (!v.is_number() && !v.is_string()) {
+      return fail(error, "config." + k + " is neither number nor string");
+    }
+  }
+  const json::Value* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    return fail(error, "missing array field 'rows'");
+  }
+  for (std::size_t i = 0; i < rows->items().size(); ++i) {
+    const json::Value& row = rows->items()[i];
+    const std::string where = "rows[" + std::to_string(i) + "]";
+    if (!row.is_object()) return fail(error, where + " is not an object");
+    const json::Value* name = row.find("case");
+    if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+      return fail(error, where + " missing non-empty string field 'case'");
+    }
+    const json::Value* metrics = row.find("metrics");
+    if (metrics == nullptr) return fail(error, where + " missing 'metrics'");
+    if (!check_numeric_object(metrics, (where + ".metrics").c_str(), error)) return false;
+    if (!check_numeric_object(row.find("stages"), (where + ".stages").c_str(), error)) {
+      return false;
+    }
+    const json::Value* notes = row.find("notes");
+    if (notes != nullptr) {
+      if (!notes->is_object()) return fail(error, where + ".notes is not an object");
+      for (const auto& [k, v] : notes->members()) {
+        if (!v.is_string()) return fail(error, where + ".notes." + k + " is not a string");
+      }
+    }
+  }
+  const json::Value* summary = doc.find("summary");
+  if (summary == nullptr || !summary->is_object()) {
+    return fail(error, "missing object field 'summary'");
+  }
+  return check_numeric_object(summary, "summary", error);
+}
+
+}  // namespace dgr::obs

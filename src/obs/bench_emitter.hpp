@@ -1,0 +1,91 @@
+#pragma once
+/// \file
+/// The unified bench emitter: one writer and one schema ("dgr-bench-v1")
+/// for every `BENCH_*.json` the harnesses drop (DESIGN.md §8).
+///
+/// Schema:
+///   {
+///     "schema": "dgr-bench-v1",
+///     "bench": "<harness id>",            // file is BENCH_<bench>.json
+///     "reproduces": "<paper table/figure>",
+///     "hardware_threads": N,
+///     "config": { <string|number> ... },  // scale, iterations, knobs
+///     "rows": [
+///       { "case": "<name>",
+///         "metrics": { <number> ... },    // quality/runtime columns
+///         "stages": { <number> ... },     // optional per-stage seconds
+///         "notes": { <string> ... } }     // optional annotations
+///     ],
+///     "summary": { <number> ... }         // ratios, totals, speedups
+///   }
+///
+/// `validate_bench_json` is the single source of truth for the schema —
+/// the `check_bench_schema` tool and the obs tests both call it.
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dgr::obs {
+
+class BenchEmitter;
+
+/// One table row under construction; methods chain.
+class BenchRow {
+ public:
+  BenchRow& metric(std::string name, double value);
+  BenchRow& stage(std::string name, double seconds);
+  BenchRow& note(std::string name, std::string value);
+  /// Convenience: one metric() call per (name, value) pair — the shape of
+  /// RouterStats::counters and RouterStats-style stage lists.
+  BenchRow& metrics(const std::vector<std::pair<std::string, double>>& pairs);
+  BenchRow& stages(const std::vector<std::pair<std::string, double>>& pairs);
+
+ private:
+  friend class BenchEmitter;
+  explicit BenchRow(std::string case_name) : case_(std::move(case_name)) {}
+  std::string case_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, double>> stages_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+class BenchEmitter {
+ public:
+  static constexpr const char* kSchemaId = "dgr-bench-v1";
+
+  /// `bench` names the harness (default output path BENCH_<bench>.json);
+  /// `reproduces` cites the paper artifact the harness reproduces.
+  BenchEmitter(std::string bench, std::string reproduces);
+
+  void set_config(const std::string& key, double value);
+  void set_config(const std::string& key, std::string value);
+
+  /// Appends a row; the reference stays valid for the emitter's lifetime.
+  BenchRow& add_row(std::string case_name);
+
+  void summary(const std::string& name, double value);
+
+  json::Value to_json() const;
+  std::string default_path() const { return "BENCH_" + bench_ + ".json"; }
+  /// Writes to `path` (default_path() when empty). Returns false on I/O
+  /// failure. Logs the destination at info level.
+  bool write(const std::string& path = "") const;
+
+ private:
+  std::string bench_;
+  std::string reproduces_;
+  json::Value config_ = json::Value::object();
+  std::deque<BenchRow> rows_;  // deque: stable references across add_row
+  std::vector<std::pair<std::string, double>> summary_;
+};
+
+/// Validates `doc` against the dgr-bench-v1 schema. On failure returns
+/// false and describes the first violation in *error (when non-null).
+bool validate_bench_json(const json::Value& doc, std::string* error = nullptr);
+
+}  // namespace dgr::obs

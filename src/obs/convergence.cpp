@@ -1,0 +1,61 @@
+#include "obs/convergence.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace dgr::obs {
+
+void ConvergenceSeries::reserve(std::size_t n) { samples_.reserve(n); }
+
+void ConvergenceSeries::push(const IterationSample& s) {
+  if (samples_.size() == samples_.capacity()) {
+    // The train loop pre-reserves; landing here means a per-step heap
+    // allocation slipped in. Count it so tests can assert zero.
+    static Counter& growth = metrics().counter("obs.convergence.unreserved_growth");
+    growth.add(1);
+  }
+  samples_.push_back(s);
+}
+
+void ConvergenceSeries::truncate(std::size_t n) {
+  if (n < samples_.size()) samples_.resize(n);
+}
+
+void ConvergenceSeries::clear() {
+  samples_.clear();
+  rollbacks.clear();
+}
+
+json::Value ConvergenceSeries::to_json() const {
+  // Columns are built stand-alone and moved in afterwards: operator[] on the
+  // document appends to its member vector, so references taken across
+  // insertions would dangle on reallocation.
+  json::Value iter = json::Value::array();
+  json::Value loss = json::Value::array();
+  json::Value ovf = json::Value::array();
+  json::Value temp = json::Value::array();
+  json::Value gnorm = json::Value::array();
+  for (const IterationSample& s : samples_) {
+    iter.push_back(static_cast<std::int64_t>(s.iteration));
+    loss.push_back(s.loss);
+    ovf.push_back(s.overflow);
+    temp.push_back(s.temperature);
+    gnorm.push_back(s.grad_norm);
+  }
+  json::Value rb = json::Value::array();
+  for (const RollbackEvent& e : rollbacks) {
+    json::Value entry = json::Value::object();
+    entry["at_iteration"] = static_cast<std::int64_t>(e.at_iteration);
+    entry["resumed_from"] = static_cast<std::int64_t>(e.resumed_from);
+    rb.push_back(std::move(entry));
+  }
+  json::Value doc = json::Value::object();
+  doc["iteration"] = std::move(iter);
+  doc["loss"] = std::move(loss);
+  doc["overflow"] = std::move(ovf);
+  doc["temperature"] = std::move(temp);
+  doc["grad_norm"] = std::move(gnorm);
+  doc["rollbacks"] = std::move(rb);
+  return doc;
+}
+
+}  // namespace dgr::obs

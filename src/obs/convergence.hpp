@@ -1,0 +1,65 @@
+#pragma once
+/// \file
+/// Solver convergence telemetry: the per-iteration time series behind the
+/// paper's Figure 5/6 convergence plots (loss, overflow expectation,
+/// temperature, gradient norm) plus divergence-rollback events.
+///
+/// `core::DgrSolver` records one IterationSample per kept iteration when
+/// `DgrConfig::record_telemetry` is on and surfaces the series through
+/// `TrainStats` / `pipeline::RouterStats`. The train loop must stay free of
+/// per-step heap allocation, so the series is reserved once up front; a
+/// push past the reserved capacity still succeeds but bumps the
+/// `obs.convergence.unreserved_growth` counter metric, which the obs tests
+/// assert stays at zero.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dgr::obs {
+
+struct IterationSample {
+  std::int32_t iteration = 0;  ///< schedule index (temperature anneal position)
+  double loss = 0.0;           ///< stochastic training cost of the step
+  double overflow = 0.0;       ///< expected overflow term, pre-weight (Eq. 9)
+  double temperature = 0.0;    ///< Gumbel-softmax temperature at the step
+  double grad_norm = 0.0;      ///< L2 norm of the full parameter gradient
+};
+
+/// A divergence rollback: training rewound from `at_iteration` to resume at
+/// `resumed_from` (the best-so-far checkpoint's iteration).
+struct RollbackEvent {
+  std::int32_t at_iteration = 0;
+  std::int32_t resumed_from = 0;
+};
+
+class ConvergenceSeries {
+ public:
+  /// Pre-reserves capacity for `n` samples (call before the train loop).
+  void reserve(std::size_t n);
+
+  /// Appends a sample. Growing past the reserved capacity allocates and
+  /// increments the obs.convergence.unreserved_growth counter metric.
+  void push(const IterationSample& s);
+
+  /// Rewinds the series to `n` samples (rollback replay semantics).
+  void truncate(std::size_t n);
+
+  void clear();
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<IterationSample>& samples() const { return samples_; }
+
+  /// Rollback events survive truncation (they describe the whole run).
+  std::vector<RollbackEvent> rollbacks;
+
+  /// Columnar JSON (arrays per field) — compact for 10^3..10^4 iterations.
+  json::Value to_json() const;
+
+ private:
+  std::vector<IterationSample> samples_;
+};
+
+}  // namespace dgr::obs

@@ -1,0 +1,126 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace dgr::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_ = std::vector<std::atomic<std::int64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::total_count() const {
+  std::int64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // Ordered maps: iteration order == snapshot order, no sort at snapshot.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* instance = new Impl();  // leaked: usable during static dtors
+  return *instance;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.counters.find(name);
+  if (it == im.counters.end()) {
+    it = im.counters.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.gauges.find(name);
+  if (it == im.gauges.end()) {
+    it = im.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.histograms.find(name);
+  if (it == im.histograms.end()) {
+    it = im.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+json::Value MetricsRegistry::snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  json::Value doc = json::Value::object();
+  json::Value& counters = doc["counters"];
+  counters = json::Value::object();
+  for (const auto& [name, c] : im.counters) counters[name] = c->value();
+  json::Value& gauges = doc["gauges"];
+  gauges = json::Value::object();
+  for (const auto& [name, g] : im.gauges) gauges[name] = g->value();
+  json::Value& histograms = doc["histograms"];
+  histograms = json::Value::object();
+  for (const auto& [name, h] : im.histograms) {
+    json::Value& entry = histograms[name];
+    json::Value& bounds = entry["bounds"];
+    bounds = json::Value::array();
+    for (const double b : h->bounds()) bounds.push_back(b);
+    json::Value& buckets = entry["buckets"];
+    buckets = json::Value::array();
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) buckets.push_back(h->bucket(i));
+    entry["count"] = h->total_count();
+  }
+  return doc;
+}
+
+std::string MetricsRegistry::snapshot_json(int indent) const {
+  return snapshot().dump(indent);
+}
+
+bool MetricsRegistry::write_snapshot(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << snapshot_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+void MetricsRegistry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace dgr::obs

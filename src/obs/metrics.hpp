@@ -1,0 +1,106 @@
+#pragma once
+/// \file
+/// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+/// histograms with a deterministic JSON snapshot (DESIGN.md §8).
+///
+/// Handles returned by the registry are stable for the process lifetime, so
+/// hot call sites hoist them once:
+///
+///   static obs::Counter& steps = obs::metrics().counter("core.train.iterations");
+///   steps.add(n);
+///
+/// Determinism: counters and histogram buckets are integer accumulators
+/// updated with relaxed atomics — totals are order-independent, so a
+/// deterministic workload produces a byte-identical snapshot at any worker
+/// count (the {1,2,4} matrix in obs_test locks this down). Histograms
+/// deliberately do not keep a floating-point sum: cross-thread FP
+/// accumulation is order-dependent and would break snapshot determinism.
+/// Gauges are single-writer by convention (last set wins).
+///
+/// The registry is always compiled (it sits off the hot paths — per-stage,
+/// not per-element); only the tracing macros are gated by DGR_OBS.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dgr::obs {
+
+/// Monotonic integer counter.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-set floating-point value (single writer).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+/// bound[i-1] < v <= bound[i] (bucket 0: v <= bound[0]); one implicit
+/// overflow bucket takes v > bound.back(). Bounds are fixed at creation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  std::size_t bucket_count() const { return counts_.size(); }  ///< incl. overflow
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::int64_t bucket(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::int64_t total_count() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  // vector<atomic> is legal here because the vector is sized once in the
+  // constructor and never resized.
+  std::vector<std::atomic<std::int64_t>> counts_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the named metric, creating it on first use. For histograms the
+  /// bounds apply only at creation; later callers get the existing instance
+  /// regardless of the bounds they pass. Thread-safe; the returned
+  /// references stay valid for the process lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Deterministic snapshot: metric names sorted lexicographically within
+  /// each kind, canonical number formatting (obs::json).
+  json::Value snapshot() const;
+  std::string snapshot_json(int indent = 1) const;
+  /// Writes snapshot_json to `path`; false on I/O failure.
+  bool write_snapshot(const std::string& path) const;
+
+  /// Zeroes every registered metric (handles stay valid). Test harness use.
+  void reset();
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// The process-wide registry.
+MetricsRegistry& metrics();
+
+}  // namespace dgr::obs

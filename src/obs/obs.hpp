@@ -1,0 +1,12 @@
+#pragma once
+/// \file
+/// Umbrella header for the dgr::obs observability subsystem: span tracing
+/// with Chrome trace_event export, the process-wide metrics registry,
+/// solver convergence telemetry, and the unified bench emitter.
+/// See DESIGN.md §8.
+
+#include "obs/bench_emitter.hpp"
+#include "obs/convergence.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

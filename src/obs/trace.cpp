@@ -1,0 +1,234 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dgr::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;   ///< event start, absolute steady-clock ns
+  std::uint64_t dur_ns = 0;  ///< 'X' events only
+  double value = 0.0;        ///< 'C' events only
+  char phase = 'X';
+};
+
+/// Power-of-two ring so the owner thread indexes with a mask. head_ is the
+/// monotonic count of events ever written; the owner stores the event slot
+/// first, then publishes with a release bump, so a reader that acquires
+/// head_ sees fully-written events for every index below it (modulo
+/// overwrite of the oldest ring lap, which flushing at quiescent points
+/// avoids by design).
+constexpr std::size_t kRingBits = 16;
+constexpr std::size_t kRingCapacity = std::size_t{1} << kRingBits;
+constexpr std::size_t kRingMask = kRingCapacity - 1;
+
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::uint32_t tid_in) : tid(tid_in), events(kRingCapacity) {}
+  const std::uint32_t tid;
+  std::vector<TraceEvent> events;
+  std::atomic<std::uint64_t> head{0};
+
+  void push(const TraceEvent& ev) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    events[h & kRingMask] = ev;
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+struct TraceState {
+  std::mutex mu;
+  // Buffers are owned for the process lifetime: pool threads outlive any
+  // one trace session and a thread's events must survive its exit.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint64_t epoch_ns = 0;
+  std::set<std::string> interned;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: outlives static dtors
+  return *s;
+}
+
+ThreadBuffer& tls_buffer() {
+  thread_local ThreadBuffer* buf = [] {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.buffers.push_back(
+        std::make_unique<ThreadBuffer>(static_cast<std::uint32_t>(s.buffers.size())));
+    return s.buffers.back().get();
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void emit_complete(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_ns = start_ns;
+  ev.dur_ns = end_ns - start_ns;
+  ev.phase = 'X';
+  tls_buffer().push(ev);
+}
+
+void emit_instant(const char* name) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_ns = now_ns();
+  ev.phase = 'i';
+  tls_buffer().push(ev);
+}
+
+void emit_counter(const char* name, double value) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_ns = now_ns();
+  ev.value = value;
+  ev.phase = 'C';
+  tls_buffer().push(ev);
+}
+
+}  // namespace detail
+
+void set_tracing(bool enabled) {
+  if (!compiled_in()) return;
+  if (enabled) {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.epoch_ns == 0) s.epoch_ns = detail::now_ns();
+  }
+  detail::g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() { return detail::g_tracing.load(std::memory_order_relaxed); }
+
+void reset_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& buf : s.buffers) buf->head.store(0, std::memory_order_release);
+  s.epoch_ns = detail::now_ns();
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::size_t total = 0;
+  for (const auto& buf : s.buffers) {
+    total += static_cast<std::size_t>(
+        std::min<std::uint64_t>(buf->head.load(std::memory_order_acquire), kRingCapacity));
+  }
+  return total;
+}
+
+std::uint64_t trace_dropped() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t dropped = 0;
+  for (const auto& buf : s.buffers) {
+    const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+    if (head > kRingCapacity) dropped += head - kRingCapacity;
+  }
+  return dropped;
+}
+
+const char* intern(std::string_view s) {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.interned.emplace(s).first->c_str();
+}
+
+std::string chrome_trace_json() {
+  struct Flat {
+    TraceEvent ev;
+    std::uint32_t tid;
+  };
+  std::vector<Flat> flat;
+  std::uint64_t epoch = 0;
+  std::size_t thread_count = 0;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    epoch = s.epoch_ns;
+    thread_count = s.buffers.size();
+    for (const auto& buf : s.buffers) {
+      const std::uint64_t head = buf->head.load(std::memory_order_acquire);
+      const std::uint64_t kept = std::min<std::uint64_t>(head, kRingCapacity);
+      for (std::uint64_t i = head - kept; i < head; ++i) {
+        flat.push_back({buf->events[i & kRingMask], buf->tid});
+      }
+    }
+  }
+  std::sort(flat.begin(), flat.end(), [](const Flat& a, const Flat& b) {
+    if (a.ev.ts_ns != b.ev.ts_ns) return a.ev.ts_ns < b.ev.ts_ns;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return std::string_view(a.ev.name) < std::string_view(b.ev.name);
+  });
+
+  const auto us = [epoch](std::uint64_t ns) {
+    return static_cast<double>(ns - std::min(ns, epoch)) / 1e3;
+  };
+
+  json::Value doc = json::Value::object();
+  json::Value& events = doc["traceEvents"];
+  events = json::Value::array();
+  for (std::size_t t = 0; t < thread_count; ++t) {
+    json::Value meta = json::Value::object();
+    meta["name"] = "thread_name";
+    meta["ph"] = "M";
+    meta["pid"] = 1;
+    meta["tid"] = t;
+    meta["args"]["name"] = "dgr-thread-" + std::to_string(t);
+    events.push_back(std::move(meta));
+  }
+  for (const Flat& f : flat) {
+    json::Value ev = json::Value::object();
+    ev["name"] = f.ev.name;
+    ev["cat"] = "dgr";
+    ev["ph"] = std::string(1, f.ev.phase);
+    ev["pid"] = 1;
+    ev["tid"] = static_cast<std::int64_t>(f.tid);
+    ev["ts"] = us(f.ev.ts_ns);
+    if (f.ev.phase == 'X') {
+      ev["dur"] = static_cast<double>(f.ev.dur_ns) / 1e3;
+    } else if (f.ev.phase == 'i') {
+      ev["s"] = "t";  // thread-scoped instant
+    } else if (f.ev.phase == 'C') {
+      ev["args"]["value"] = f.ev.value;
+    }
+    events.push_back(std::move(ev));
+  }
+  doc["displayTimeUnit"] = "ms";
+  return doc.dump(1);
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace dgr::obs

@@ -1,0 +1,126 @@
+#pragma once
+/// \file
+/// Span-based tracing with lock-free thread-local ring buffers and Chrome
+/// `trace_event` export (DESIGN.md §8).
+///
+/// Instrumentation sites use the macros:
+///
+///   DGR_TRACE_SCOPE("core.train");          // RAII span ('X' complete event)
+///   DGR_TRACE_INSTANT("core.rollback");     // point event ('i')
+///   DGR_TRACE_COUNTER("dgr.loss", cost);    // counter series ('C')
+///
+/// Cost model. Tracing is OFF at runtime by default: a disabled site is one
+/// relaxed atomic load plus a predictable branch — no clock read, no
+/// allocation (<1% on every instrumented hot path, including the pool
+/// worker job loop). When enabled, each event is two steady_clock reads and
+/// one store into the calling thread's fixed-capacity ring buffer; the ring
+/// overwrites its oldest events when full (`trace_dropped()` reports how
+/// many were lost). Nothing in the tracer feeds back into routing
+/// computation, so the bitwise determinism contract of
+/// `util::ParallelRuntime` is untouched with tracing on or off.
+///
+/// Event names must be pointers with static storage duration (string
+/// literals); dynamic names go through intern(). Flushing
+/// (`chrome_trace_json` / `write_chrome_trace`) is meant for quiescent
+/// moments — call it after the traced work completed (or after
+/// `set_tracing(false)`), not concurrently with active spans.
+///
+/// Compile-time gate: the DGR_OBS option (default ON) defines the macros
+/// above; with DGR_OBS=OFF every site compiles to `((void)0)` and the
+/// runtime switch is inert (`compiled_in()` reports which build this is).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dgr::obs {
+
+/// True when the tracing macros were compiled in (DGR_OBS=ON builds).
+constexpr bool compiled_in() {
+#if defined(DGR_OBS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+std::uint64_t now_ns();
+void emit_complete(const char* name, std::uint64_t start_ns, std::uint64_t end_ns);
+void emit_instant(const char* name);
+void emit_counter(const char* name, double value);
+}  // namespace detail
+
+/// Master runtime switch; OFF by default. Turning tracing on stamps the
+/// trace epoch (timestamps are reported relative to the first enable or the
+/// last reset). A no-op in DGR_OBS=OFF builds.
+void set_tracing(bool enabled);
+bool tracing_enabled();
+
+/// Drops every buffered event and re-stamps the trace epoch.
+void reset_trace();
+
+/// Events currently buffered across all threads / events lost to ring
+/// overwrite since the last reset.
+std::size_t trace_event_count();
+std::uint64_t trace_dropped();
+
+/// The buffered events as a Chrome `trace_event` JSON document (the object
+/// form: {"traceEvents": [...]}), loadable in chrome://tracing or Perfetto.
+/// Events are ordered by (timestamp, thread, name) so the output is stable
+/// for a given set of events.
+std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+/// Copies `s` into process-lifetime storage and returns a stable pointer;
+/// repeated calls with equal strings return the same pointer. For the rare
+/// dynamically-composed event name (e.g. fault-site instants).
+const char* intern(std::string_view s);
+
+/// RAII span: records a complete ('X') event covering construction to
+/// destruction on the current thread. Prefer DGR_TRACE_SCOPE.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (detail::g_tracing.load(std::memory_order_relaxed)) {
+      name_ = name;
+      start_ = detail::now_ns();
+    }
+  }
+  ~TraceScope() {
+    if (name_ != nullptr) detail::emit_complete(name_, start_, detail::now_ns());
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+inline void trace_instant(const char* name) {
+  if (detail::g_tracing.load(std::memory_order_relaxed)) detail::emit_instant(name);
+}
+
+inline void trace_counter(const char* name, double value) {
+  if (detail::g_tracing.load(std::memory_order_relaxed)) detail::emit_counter(name, value);
+}
+
+}  // namespace dgr::obs
+
+#if defined(DGR_OBS)
+#define DGR_OBS_CONCAT_IMPL(a, b) a##b
+#define DGR_OBS_CONCAT(a, b) DGR_OBS_CONCAT_IMPL(a, b)
+#define DGR_TRACE_SCOPE(name) \
+  ::dgr::obs::TraceScope DGR_OBS_CONCAT(dgr_obs_scope_, __COUNTER__)(name)
+#define DGR_TRACE_INSTANT(name) ::dgr::obs::trace_instant(name)
+#define DGR_TRACE_COUNTER(name, value) ::dgr::obs::trace_counter(name, value)
+#else
+#define DGR_TRACE_SCOPE(name) ((void)0)
+#define DGR_TRACE_INSTANT(name) ((void)0)
+#define DGR_TRACE_COUNTER(name, value) ((void)0)
+#endif

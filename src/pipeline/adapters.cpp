@@ -4,6 +4,7 @@
 #include <new>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -39,6 +40,7 @@ DgrRouter::DgrRouter(core::DgrConfig config, dag::ForestOptions forest)
     : config_(config), forest_(forest) {}
 
 eval::RouteSolution DgrRouter::route(RoutingContext& ctx) {
+  DGR_TRACE_SCOPE("route.dgr");
   reset_stats();
   if (DGR_FAULT_POINT("pipeline.alloc")) throw std::bad_alloc();
   dag::ForestOptions fopts = forest_;
@@ -55,7 +57,7 @@ eval::RouteSolution DgrRouter::route(RoutingContext& ctx) {
 
   core::DgrSolver solver(forest, ctx.capacities(), config);
   timer.reset();
-  const core::TrainStats train = solver.train();
+  core::TrainStats train = solver.train();
   stats_.add_stage("train", timer.seconds());
 
   // Even on a non-OK status the solver holds its best healthy checkpoint,
@@ -75,6 +77,9 @@ eval::RouteSolution DgrRouter::route(RoutingContext& ctx) {
   if (train.rollbacks > 0) {
     stats_.add_counter("rollbacks", static_cast<double>(train.rollbacks));
   }
+  // Surface the solver's convergence series (empty unless
+  // config_.record_telemetry) through the uniform stats record.
+  stats_.convergence = std::move(train.telemetry);
   sync_demand(ctx, sol);
   return sol;
 }
@@ -86,6 +91,7 @@ eval::RouteSolution DgrRouter::route(RoutingContext& ctx) {
 Cugr2Router::Cugr2Router(routers::Cugr2LiteOptions options) : options_(options) {}
 
 eval::RouteSolution Cugr2Router::route(RoutingContext& ctx) {
+  DGR_TRACE_SCOPE("route.cugr2-lite");
   reset_stats();
   routers::Cugr2LiteOptions opts = options_;
   opts.via_beta = ctx.via_beta();
@@ -111,6 +117,7 @@ eval::RouteSolution Cugr2Router::route(RoutingContext& ctx) {
 SpRouteRouter::SpRouteRouter(routers::SpRouteLiteOptions options) : options_(options) {}
 
 eval::RouteSolution SpRouteRouter::route(RoutingContext& ctx) {
+  DGR_TRACE_SCOPE("route.sproute-lite");
   reset_stats();
   routers::SpRouteLiteOptions opts = options_;
   opts.via_beta = ctx.via_beta();
@@ -135,6 +142,7 @@ LagrangianPipelineRouter::LagrangianPipelineRouter(routers::LagrangianOptions op
     : options_(options) {}
 
 eval::RouteSolution LagrangianPipelineRouter::route(RoutingContext& ctx) {
+  DGR_TRACE_SCOPE("route.lagrangian");
   reset_stats();
   routers::LagrangianOptions opts = options_;
   opts.via_beta = ctx.via_beta();
@@ -155,6 +163,7 @@ eval::RouteSolution LagrangianPipelineRouter::route(RoutingContext& ctx) {
 MazeRefineRouter::MazeRefineRouter(post::MazeRefineOptions options) : options_(options) {}
 
 eval::RouteSolution MazeRefineRouter::route(RoutingContext& ctx) {
+  DGR_TRACE_SCOPE("route.maze-refine");
   reset_stats();
   if (ctx.warm_start() == nullptr) {
     DGR_LOG_WARN("maze-refine router needs a warm start; returning empty solution");

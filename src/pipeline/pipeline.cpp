@@ -5,6 +5,8 @@
 #include <new>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/memprobe.hpp"
@@ -74,6 +76,8 @@ PipelineResult Pipeline::rerun(const std::string& router_name, eval::RouteSoluti
 }
 
 PipelineResult Pipeline::run_stages(Router& router, const StagePlan& plan) {
+  DGR_TRACE_SCOPE("pipeline.run");
+  obs::metrics().counter("pipeline.runs").add(1);
   PipelineResult result;
 
   // ---- route stage: budgeted and exception-hardened -----------------------
@@ -83,6 +87,7 @@ PipelineResult Pipeline::run_stages(Router& router, const StagePlan& plan) {
   }
   Status route_status;
   try {
+    DGR_TRACE_SCOPE("pipeline.route_total");
     if (DGR_FAULT_POINT("pipeline.stage")) {
       route_status = Status(StatusCode::kFaultInjected, "injected route-stage fault");
     } else {
@@ -144,7 +149,10 @@ PipelineResult Pipeline::run_stages(Router& router, const StagePlan& plan) {
     result.stats.add_stage("fallback_route", timer.seconds());
     result.stats.degraded = true;
   }
-  if (result.stats.degraded) result.stats.add_counter("degraded", 1.0);
+  if (result.stats.degraded) {
+    result.stats.add_counter("degraded", 1.0);
+    obs::metrics().counter("pipeline.degraded").add(1);
+  }
 
   // ---- failure path: nothing routable came back ---------------------------
   if (result.solution.design == nullptr) {
@@ -155,6 +163,7 @@ PipelineResult Pipeline::run_stages(Router& router, const StagePlan& plan) {
   }
 
   if (plan.maze_refine) {
+    DGR_TRACE_SCOPE("pipeline.maze_refine");
     post::MazeRefineOptions refine = options_.refine;
     refine.via_beta = ctx_->via_beta();
     timer.reset();
@@ -167,6 +176,7 @@ PipelineResult Pipeline::run_stages(Router& router, const StagePlan& plan) {
 
   // ---- validation gate ----------------------------------------------------
   if (options_.validate) {
+    DGR_TRACE_SCOPE("pipeline.validate");
     timer.reset();
     result.validation = validate_solution(*ctx_, result.solution);
     if (!result.validation.demand_consistent) {
@@ -193,17 +203,21 @@ PipelineResult Pipeline::run_stages(Router& router, const StagePlan& plan) {
   }
 
   if (plan.layer_assign) {
+    DGR_TRACE_SCOPE("pipeline.layer_assign");
     timer.reset();
     result.layers = post::assign_layers(result.solution, ctx_->capacities(),
                                         options_.layers);
     result.stats.add_stage("layer_assign", timer.seconds());
   }
 
-  timer.reset();
-  result.metrics = ctx_->evaluate(result.solution);
-  result.weighted_overflow = ctx_->weighted_overflow(result.solution);
-  result.nets_with_overflow = ctx_->nets_with_overflow(result.solution);
-  result.stats.add_stage("eval", timer.seconds());
+  {
+    DGR_TRACE_SCOPE("pipeline.eval");
+    timer.reset();
+    result.metrics = ctx_->evaluate(result.solution);
+    result.weighted_overflow = ctx_->weighted_overflow(result.solution);
+    result.nets_with_overflow = ctx_->nets_with_overflow(result.solution);
+    result.stats.add_stage("eval", timer.seconds());
+  }
 
   result.stats.peak_rss_bytes = util::peak_rss_bytes();
   return result;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "eval/solution.hpp"
+#include "obs/convergence.hpp"
 #include "pipeline/context.hpp"
 #include "util/status.hpp"
 
@@ -47,6 +48,12 @@ struct RouterStats {
   /// The result came from a degraded path: the route stage fell back to a
   /// cheaper router, or the primary stopped early on its time budget.
   bool degraded = false;
+
+  /// Per-iteration solver convergence telemetry (loss, overflow expectation,
+  /// temperature, gradient norm, rollback events). Populated only by
+  /// iterative routers when RouterOptions request it (DGR's
+  /// record_telemetry); empty for the combinatorial baselines.
+  obs::ConvergenceSeries convergence;
 
   void add_stage(std::string stage, double seconds);
   void add_counter(std::string name, double value);

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "dag/path.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
 
@@ -37,6 +39,7 @@ bool net_connected(const design::Design& design, const eval::NetRoute& net) {
 
 ValidationReport validate_solution(const RoutingContext& ctx,
                                    const eval::RouteSolution& sol) {
+  DGR_TRACE_SCOPE("pipeline.validate_solution");
   ValidationReport report;
   const design::Design& design = ctx.design();
   const grid::GCellGrid& grid = design.grid();
@@ -79,6 +82,12 @@ ValidationReport validate_solution(const RoutingContext& ctx,
               std::to_string(report.max_demand_error) + ")";
     }
     report.status = Status(StatusCode::kValidationFailed, std::move(what));
+  }
+  obs::metrics().counter("pipeline.validate.checked_nets").add(report.checked_nets);
+  if (!report.broken_nets.empty()) {
+    obs::metrics()
+        .counter("pipeline.validate.broken_nets")
+        .add(static_cast<std::int64_t>(report.broken_nets.size()));
   }
   return report;
 }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <map>
 
+#include "obs/trace.hpp"
+
 namespace dgr::post {
 
 using eval::RouteSolution;
@@ -49,6 +51,7 @@ std::vector<Leg> collect_legs(const GCellGrid& grid, const eval::NetRoute& net) 
 LayerAssignment assign_layers(const RouteSolution& sol,
                               const std::vector<float>& capacities_2d,
                               const LayerAssignOptions& options) {
+  DGR_TRACE_SCOPE("post.layer_assign");
   LayerAssignment out;
   const design::Design& design = *sol.design;
   const GCellGrid& grid = design.grid();

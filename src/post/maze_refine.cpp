@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "routers/maze.hpp"
 #include "util/log.hpp"
 
@@ -110,6 +111,7 @@ NetRoute maze_reroute_net(const design::Design& design, std::size_t design_net,
 
 MazeRefineStats maze_refine(RouteSolution& sol, const std::vector<float>& capacities,
                             const MazeRefineOptions& options) {
+  DGR_TRACE_SCOPE("post.maze_refine");
   MazeRefineStats stats;
   const design::Design& design = *sol.design;
   const double via_scale = std::sqrt(static_cast<double>(design.grid().layer_count()));

@@ -3,6 +3,10 @@
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dgr::util::fault {
 
@@ -115,6 +119,12 @@ bool should_fire(std::string_view site) {
   }
   if (!draw(r.plan.seed, site, hit_index, spec.probability)) return false;
   ++state.fires;
+  // A fire is a rare, diagnosis-relevant event: mark it on the trace
+  // timeline and in the metrics snapshot. Instant names need static
+  // lifetime, hence the interner (fires are rare — the allocation is off
+  // any hot path).
+  DGR_TRACE_INSTANT(obs::intern("fault." + std::string(site)));
+  obs::metrics().counter("fault.fires").add(1);
   return true;
 }
 

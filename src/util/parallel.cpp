@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace dgr::util {
 namespace {
 
@@ -111,6 +113,11 @@ class Pool {
   // work_stages() call unwinds (plus the cv_done_ handshake that keeps
   // pending_ consistent for the next submission).
   void work_stages() {
+    // One span per participant per fused job: with tracing enabled the
+    // Chrome timeline shows every worker's share of each submission; when
+    // runtime-disabled this is a single relaxed load (determinism and the
+    // <1% overhead contract are unaffected — the tracer only observes).
+    DGR_TRACE_SCOPE("pool.job");
     const detail::RawStage* const stages = stages_;
     const std::size_t count = stage_count_;
     const std::size_t participants = participants_;
