@@ -24,6 +24,8 @@
 #include "design/design.hpp"
 #include "design/generator.hpp"
 #include "design/io.hpp"
+#include "design/mutate.hpp"
+#include "eco/eco.hpp"
 #include "eval/metrics.hpp"
 #include "eval/solution.hpp"
 #include "eval/table.hpp"

@@ -6,6 +6,7 @@
 // solver produces an *expected* demand internally and only materialises a
 // DemandMap when extracting the discrete solution.
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -21,7 +22,21 @@ class DemandMap {
 
   std::size_t edge_count() const { return demand_.size(); }
   double demand(EdgeId e) const { return demand_[static_cast<std::size_t>(e)]; }
-  void add(EdgeId e, double amount) { demand_[static_cast<std::size_t>(e)] += amount; }
+  void add(EdgeId e, double amount) {
+    demand_[static_cast<std::size_t>(e)] += quantize(amount);
+  }
+
+  /// Snaps an increment to the 2^-20 grid. Every amount committed this way
+  /// is an exact dyadic double, so arbitrary interleavings of commit (+a)
+  /// and uncommit (−a) are exact sums: rip-up restores the demand state
+  /// byte-for-byte even for non-dyadic via charges (e.g. via_beta = 0.3).
+  /// The 2^-20 grid (≈1e-6 resolution) is far below any demand tolerance
+  /// used by the eval/validation layers.
+  static double quantize(double amount) {
+    constexpr double kScale = 1 << 20;
+    constexpr double kInvScale = 1.0 / (1 << 20);
+    return std::round(amount * kScale) * kInvScale;
+  }
   void clear() { std::fill(demand_.begin(), demand_.end(), 0.0); }
 
   const std::vector<double>& raw() const { return demand_; }

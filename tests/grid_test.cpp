@@ -182,6 +182,45 @@ TEST(DemandMap, NegativeContributionsCancel) {
   EXPECT_DOUBLE_EQ(dm.demand(0), 0.0);
 }
 
+TEST(DemandMap, CommitUncommitRoundTripIsByteIdentical) {
+  // Non-dyadic via charges (e.g. via_beta = 0.3 -> ±0.15 per bend edge) are
+  // not exactly representable, so naive += accumulation drifts when commits
+  // and rip-ups interleave. The quantized add() snaps every increment to
+  // the 2^-20 grid, making all sums exact and rip-up an exact inverse.
+  const GCellGrid g = GCellGrid::uniform(6, 6, 4, 3);
+  DemandMap dm(g);
+  const double kVia = 0.3 * 0.5;  // via_beta/2, the charge eval applies
+  const std::vector<double> amounts = {1.0, kVia, 0.7, kVia, 1.0, 0.1};
+
+  // Commit a pile of "nets" (each touches a spread of edges), snapshot,
+  // then interleave foreign commits with an exact rip-up of the pile.
+  auto touch = [&](int net, double sign) {
+    for (std::size_t k = 0; k < amounts.size(); ++k) {
+      const auto e = static_cast<EdgeId>((net * 7 + static_cast<int>(k) * 11) %
+                                         g.edge_count());
+      dm.add(e, sign * amounts[k]);
+    }
+  };
+  for (int net = 0; net < 16; ++net) touch(net, +1.0);
+  const std::vector<double> snapshot = dm.raw();
+
+  for (int net = 16; net < 24; ++net) touch(net, +1.0);  // foreign traffic
+  for (int net = 16; net < 24; ++net) touch(net, -1.0);
+  EXPECT_EQ(dm.raw(), snapshot);  // byte-identical, not just approximately
+
+  for (int net = 15; net >= 0; --net) touch(net, -1.0);
+  for (const double v : dm.raw()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(DemandMap, QuantizeIsExactInverseUnderAccumulation) {
+  // 10k interleaved ±x accumulations of an adversarial non-dyadic amount
+  // land exactly back on zero.
+  const GCellGrid g = GCellGrid::uniform(2, 2, 2, 1);
+  DemandMap dm(g);
+  for (int i = 0; i < 10000; ++i) dm.add(0, i % 2 == 0 ? 0.3 : -0.3);
+  EXPECT_EQ(dm.demand(0), 0.0);
+}
+
 class GridSizeSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
 
 TEST_P(GridSizeSweep, EdgeEnumerationConsistent) {
