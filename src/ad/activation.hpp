@@ -1,0 +1,11 @@
+#pragma once
+// The overflow activations studied in Fig. 6 of the paper. Split out of
+// ops.hpp so the SIMD kernel layer (ad/simd.hpp) can name them without
+// pulling in the full op set.
+
+namespace dgr::ad {
+
+enum class Activation { kReLU, kSigmoid, kLeakyReLU, kExp, kCELU };
+const char* activation_name(Activation a);
+
+}  // namespace dgr::ad

@@ -7,7 +7,7 @@ namespace dgr::ad {
 
 GradCheckResult grad_check(const std::function<double(const std::vector<float>&)>& f,
                            const std::vector<float>& x0,
-                           const std::vector<double>& analytic_grad, double h, double atol,
+                           std::span<const double> analytic_grad, double h, double atol,
                            double rtol) {
   if (x0.size() != analytic_grad.size()) {
     throw std::invalid_argument("grad_check: size mismatch");

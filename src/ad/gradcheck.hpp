@@ -3,6 +3,7 @@
 // every op (and the full DGR forward) against central differences.
 
 #include <functional>
+#include <span>
 #include <vector>
 
 namespace dgr::ad {
@@ -17,9 +18,10 @@ struct GradCheckResult {
 /// f maps a parameter vector to a scalar; analytic_grad is the gradient under
 /// test at `x0`. Central differences with step h; an entry passes when
 /// |num - ana| <= atol + rtol * max(|num|, |ana|).
+/// `analytic_grad` is a view so Tape::grad spans pass straight through.
 GradCheckResult grad_check(const std::function<double(const std::vector<float>&)>& f,
                            const std::vector<float>& x0,
-                           const std::vector<double>& analytic_grad, double h = 1e-3,
+                           std::span<const double> analytic_grad, double h = 1e-3,
                            double atol = 1e-4, double rtol = 5e-3);
 
 }  // namespace dgr::ad

@@ -1,0 +1,72 @@
+#pragma once
+// Explicit AVX2 kernel layer behind the DGR_SIMD CMake option (DESIGN.md
+// §5.4). The hot ops call these through `simd::active()`:
+//
+//   - DGR_SIMD OFF (default): compiled_in() is a constant false, every call
+//     below is an inline no-op, and the scalar loops in ops.cpp — whose
+//     arithmetic is bitwise worker-count deterministic — are the only code
+//     path. Zero codegen change in the scalar build.
+//   - DGR_SIMD ON: the kernels in simd_avx2.cpp (a separate TU built with
+//     -mavx2 -mfma, so nothing else in the library gets retuned) replace the
+//     innermost loops. Chunk boundaries still come from (begin, end, grain)
+//     only, so results remain bitwise invariant across worker counts — but
+//     the vectorized exp/sigmoid polynomials differ from libm in the last
+//     ulps, so SIMD output is held to gradcheck + shared-eval *tolerance*
+//     against scalar, not bitwise equality (the determinism caveat in
+//     DESIGN.md §5.4).
+//
+// set_enabled(false) drops back to the scalar path at runtime even when
+// compiled in — the bench uses this to report scalar-SoA and AVX2 variants
+// from one binary, and tests use it to diff the two paths.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ad/activation.hpp"
+
+namespace dgr::ad::simd {
+
+#ifdef DGR_SIMD
+
+constexpr bool compiled_in() { return true; }
+bool enabled();
+void set_enabled(bool on);
+
+/// y[i] = exp(y[i]) for i in [lo, hi). The vector lane grid is anchored to
+/// absolute multiples of 8 in y's index space (ragged edges go through the
+/// same polynomial via a padded block), so splitting a range into sub-sweeps
+/// is bitwise identical to one sweep — callers pass data-dependent softmax
+/// chunk boundaries and worker-count invariance depends on this.
+void exp_sweep(float* y, std::size_t lo, std::size_t hi);
+/// out[i] = q[index[i]] * p[i] via vpgatherdps (exact: multiply only).
+void gather_mul(const float* q, const std::int32_t* index, const float* p, float* out,
+                std::size_t n);
+/// av[i] = f(x[i] - c[i]); returns sum(av) accumulated in double, in index
+/// order (same order as the scalar path, so ReLU/LeakyReLU stay exact).
+double overflow_forward(Activation act, float alpha, const float* x, const float* c,
+                        float* av, std::size_t n);
+/// gx[i] += g * f'(x[i] - c[i]) with av the forward activations.
+void overflow_backward(Activation act, float alpha, double g, const float* x,
+                       const float* c, const float* av, double* gx, std::size_t n);
+
+#else  // scalar-only build: inline no-op stubs, unreachable behind active().
+
+constexpr bool compiled_in() { return false; }
+inline bool enabled() { return false; }
+inline void set_enabled(bool) {}
+inline void exp_sweep(float*, std::size_t, std::size_t) {}
+inline void gather_mul(const float*, const std::int32_t*, const float*, float*,
+                       std::size_t) {}
+inline double overflow_forward(Activation, float, const float*, const float*, float*,
+                               std::size_t) {
+  return 0.0;
+}
+inline void overflow_backward(Activation, float, double, const float*, const float*,
+                              const float*, double*, std::size_t) {}
+
+#endif
+
+/// True when the AVX2 kernels are compiled in AND runtime-enabled.
+inline bool active() { return compiled_in() && enabled(); }
+
+}  // namespace dgr::ad::simd

@@ -1,0 +1,175 @@
+#include "core/batch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/forward.hpp"
+#include "obs/trace.hpp"
+
+namespace dgr::core {
+
+BatchedDgrSolver::BatchedDgrSolver(DgrConfig config)
+    : config_(config), adam_(0, ad::AdamConfig{config.learning_rate, 0.9, 0.999, 1e-8}) {}
+
+std::size_t BatchedDgrSolver::add_design(const dag::DagForest& forest,
+                                         std::vector<float> capacities,
+                                         std::uint64_t seed) {
+  if (started_) {
+    throw std::logic_error("BatchedDgrSolver: add_design after training started");
+  }
+  if (capacities.size() !=
+      static_cast<std::size_t>(forest.design().grid().edge_count())) {
+    throw std::invalid_argument("BatchedDgrSolver: capacity vector size mismatch");
+  }
+  Entry e;
+  e.forest = &forest;
+  e.relax = Relaxation::build(forest);
+  e.capacities = std::move(capacities);
+  e.param_off = params_.size();
+  e.via_cost_scale =
+      std::sqrt(static_cast<float>(forest.design().grid().layer_count()));
+  e.rng = util::Rng(seed);
+
+  // Identical logit init to DgrSolver's constructor with this seed.
+  const std::size_t count = e.relax.path_count() + e.relax.tree_count();
+  params_.resize(e.param_off + count);
+  util::Rng init = e.rng.fork(0xC0FFEE);
+  for (std::size_t i = 0; i < count; ++i) {
+    params_[e.param_off + i] =
+        static_cast<float>(init.normal()) * config_.init_logit_std;
+  }
+
+  designs_.push_back(std::move(e));
+  return designs_.size() - 1;
+}
+
+float BatchedDgrSolver::temperature_at(int iteration) const {
+  return detail::temperature_schedule(config_, iteration);
+}
+
+void BatchedDgrSolver::train_step(int iteration) {
+  DGR_TRACE_SCOPE("core.batch.train_step");
+  if (designs_.empty()) throw std::logic_error("BatchedDgrSolver: empty batch");
+  if (!started_) {
+    adam_ = ad::Adam(params_.size(),
+                     ad::AdamConfig{config_.learning_rate, 0.9, 0.999, 1e-8});
+    grads_.resize(params_.size());
+    started_ = true;
+  }
+  const float t = temperature_at(iteration);
+
+  tape_.reset();
+  roots_.clear();
+  // Record all designs back-to-back; remember each design's logit nodes via
+  // the roots of its graph. ForwardGraph handles are only needed transiently
+  // per design, except the logit ids used for the grad copy below.
+  struct Handles {
+    ad::NodeId cost, path_logits, tree_logits;
+  };
+  static thread_local std::vector<Handles> handles;
+  handles.clear();
+  for (Entry& e : designs_) {
+    const std::vector<float>* pn = nullptr;
+    const std::vector<float>* tn = nullptr;
+    if (config_.use_gumbel) {
+      // Same stream as DgrSolver::train_step generation 0 with this seed.
+      util::Rng noise_rng =
+          e.rng.fork(0x6E015E ^ static_cast<std::uint64_t>(iteration));
+      e.path_noise.resize(e.relax.path_count());
+      e.tree_noise.resize(e.relax.tree_count());
+      for (float& g : e.path_noise) g = static_cast<float>(noise_rng.gumbel());
+      for (float& g : e.tree_noise) g = static_cast<float>(noise_rng.gumbel());
+      pn = &e.path_noise;
+      tn = &e.tree_noise;
+    }
+    const detail::ForwardGraph fw = detail::build_forward_graph(
+        tape_, e.relax, e.capacities, params_.data() + e.param_off, config_,
+        e.via_cost_scale, t, pn, tn);
+    e.last_breakdown = fw.breakdown;
+    handles.push_back({fw.cost, fw.path_logits, fw.tree_logits});
+    roots_.push_back(fw.cost);
+  }
+
+  // One reverse replay for the whole batch.
+  tape_.backward_multi(roots_);
+
+  for (std::size_t d = 0; d < designs_.size(); ++d) {
+    const Entry& e = designs_[d];
+    const std::span<const double> gp = tape_.grad(handles[d].path_logits);
+    const std::span<const double> gt = tape_.grad(handles[d].tree_logits);
+    std::copy(gp.begin(), gp.end(),
+              grads_.begin() + static_cast<std::ptrdiff_t>(e.param_off));
+    std::copy(gt.begin(), gt.end(),
+              grads_.begin() + static_cast<std::ptrdiff_t>(e.param_off + gp.size()));
+  }
+
+  // Shared elementwise Adam step over the concatenated arena — identical to
+  // per-design steps because the moments never mix coordinates.
+  adam_.step(params_, grads_);
+}
+
+void BatchedDgrSolver::train() {
+  DGR_TRACE_SCOPE("core.batch.train");
+  for (int it = 0; it < config_.iterations; ++it) train_step(it);
+}
+
+std::span<const float> BatchedDgrSolver::params(std::size_t design) const {
+  const Entry& e = designs_.at(design);
+  return {params_.data() + e.param_off, e.relax.path_count() + e.relax.tree_count()};
+}
+
+std::span<float> BatchedDgrSolver::logits(std::size_t design) {
+  const Entry& e = designs_.at(design);
+  return {params_.data() + e.param_off, e.relax.path_count() + e.relax.tree_count()};
+}
+
+std::span<const double> BatchedDgrSolver::last_grads(std::size_t design) const {
+  const Entry& e = designs_.at(design);
+  return {grads_.data() + e.param_off, e.relax.path_count() + e.relax.tree_count()};
+}
+
+const CostBreakdown& BatchedDgrSolver::last_breakdown(std::size_t design) const {
+  return designs_.at(design).last_breakdown;
+}
+
+CostBreakdown BatchedDgrSolver::evaluate(std::size_t design, float temperature) const {
+  const Entry& e = designs_.at(design);
+  ad::Tape tape;
+  return detail::build_forward_graph(tape, e.relax, e.capacities,
+                                     params_.data() + e.param_off, config_,
+                                     e.via_cost_scale, temperature, nullptr, nullptr)
+      .breakdown;
+}
+
+std::vector<float> BatchedDgrSolver::path_probs(std::size_t design,
+                                                float temperature) const {
+  const Entry& e = designs_.at(design);
+  ad::Tape tape;
+  const ad::NodeId logits = tape.input(params_.data() + e.param_off, e.relax.path_count());
+  const ad::NodeId p = ad::segment_softmax(tape, logits, e.relax.path_group_offsets,
+                                           temperature, nullptr);
+  const std::span<const float> pv = tape.value(p);
+  return {pv.begin(), pv.end()};
+}
+
+std::vector<float> BatchedDgrSolver::tree_probs(std::size_t design,
+                                                float temperature) const {
+  const Entry& e = designs_.at(design);
+  ad::Tape tape;
+  const ad::NodeId logits = tape.input(
+      params_.data() + e.param_off + e.relax.path_count(), e.relax.tree_count());
+  const ad::NodeId q = ad::segment_softmax(tape, logits, e.relax.tree_group_offsets,
+                                           temperature, nullptr);
+  const std::span<const float> qv = tape.value(q);
+  return {qv.begin(), qv.end()};
+}
+
+eval::RouteSolution BatchedDgrSolver::extract(std::size_t design) const {
+  const Entry& e = designs_.at(design);
+  const float t_final = temperature_at(config_.iterations - 1);
+  return detail::extract_solution(*e.forest, e.relax, e.capacities, config_,
+                                  e.via_cost_scale, tree_probs(design, t_final),
+                                  path_probs(design, t_final));
+}
+
+}  // namespace dgr::core

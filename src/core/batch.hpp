@@ -1,0 +1,91 @@
+#pragma once
+/// \file
+/// \brief Batched-tape execution: N independent designs trained through ONE
+/// arena-backed tape (server-mode throughput, ROADMAP item 3).
+///
+/// Each train_step records every design's forward graph back-to-back into
+/// the shared tape, seeds all N cost roots at once (Tape::backward_multi —
+/// the subgraphs are disjoint, so one reverse replay produces exactly the
+/// gradients N separate backward calls would), and takes a single Adam step
+/// over the concatenated parameter arena. Because Adam is elementwise and
+/// every per-design ingredient (logit init, Gumbel noise stream,
+/// temperature schedule, kernel chunking) is identical to a solo DgrSolver
+/// with the same config and that design's seed, a batched solve is
+/// BITWISE-IDENTICAL to the corresponding solo solves — locked by
+/// core_test's batched-vs-solo matrix. What batching buys is amortization:
+/// one tape reset, one grad-arena zero, one optimizer dispatch per step.
+///
+/// Scope: the batched path is the throughput engine for the future serve
+/// daemon. It deliberately omits DgrSolver's divergence rollback / budget
+/// machinery — per-request health handling stays with the solo solver.
+
+#include <span>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace dgr::core {
+
+class BatchedDgrSolver {
+ public:
+  explicit BatchedDgrSolver(DgrConfig config = {});
+
+  /// Registers a design. `seed` plays the role of DgrConfig::seed for this
+  /// design's logit init and noise stream (pass config().seed to mirror a
+  /// solo solver exactly). Returns the design's batch index. Add every
+  /// design before the first train_step.
+  std::size_t add_design(const dag::DagForest& forest, std::vector<float> capacities,
+                         std::uint64_t seed);
+
+  std::size_t design_count() const { return designs_.size(); }
+
+  /// One shared gradient step across the whole batch.
+  void train_step(int iteration);
+
+  /// config().iterations steps (no rollback machinery — see file comment).
+  void train();
+
+  float temperature_at(int iteration) const;
+
+  /// Per-design views/results. `last_grads` is valid after a train_step and
+  /// until the next one.
+  std::span<const float> params(std::size_t design) const;
+  std::span<const double> last_grads(std::size_t design) const;
+  const CostBreakdown& last_breakdown(std::size_t design) const;
+  CostBreakdown evaluate(std::size_t design, float temperature) const;
+  std::vector<float> path_probs(std::size_t design, float temperature) const;
+  std::vector<float> tree_probs(std::size_t design, float temperature) const;
+  eval::RouteSolution extract(std::size_t design) const;
+
+  /// Direct logit access (warm starts / tests), [path | tree] per design.
+  std::span<float> logits(std::size_t design);
+
+  const DgrConfig& config() const { return config_; }
+  /// High-water footprint of the shared tape (all designs together).
+  std::size_t tape_memory_bytes() const { return tape_.memory_bytes(); }
+
+ private:
+  struct Entry {
+    const dag::DagForest* forest = nullptr;
+    Relaxation relax;
+    std::vector<float> capacities;
+    std::size_t param_off = 0;
+    float via_cost_scale = 1.0f;
+    util::Rng rng;
+    /// Noise buffers per design (records borrow them only during forward).
+    std::vector<float> path_noise;
+    std::vector<float> tree_noise;
+    CostBreakdown last_breakdown;
+  };
+
+  DgrConfig config_;
+  std::vector<Entry> designs_;
+  std::vector<float> params_;   ///< concatenated [path | tree] logit slabs
+  std::vector<double> grads_;   ///< concatenated gradients (last step)
+  ad::Adam adam_;               ///< rebuilt when the batch grows
+  ad::Tape tape_;               ///< the shared, reused tape
+  std::vector<ad::NodeId> roots_;
+  bool started_ = false;
+};
+
+}  // namespace dgr::core

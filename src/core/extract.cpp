@@ -4,27 +4,33 @@
 // passes top_p, then commit subnets in decreasing-confidence order picking
 // the member of the top-p set with the least *true* incremental cost against
 // the capacity left by already-committed paths.
+//
+// The body lives in detail::extract_solution so BatchedDgrSolver extracts
+// per-design solutions through the same code path.
 
 #include <algorithm>
 #include <cmath>
 #include <numeric>
 
+#include "core/forward.hpp"
 #include "core/solver.hpp"
 #include "obs/trace.hpp"
 
 namespace dgr::core {
 
-eval::RouteSolution DgrSolver::extract() const {
-  DGR_TRACE_SCOPE("core.extract");
-  const float t_final = temperature_at(config_.iterations - 1);
-  const std::vector<float> q = tree_probs(t_final);
-  const std::vector<float> p = path_probs(t_final);
+namespace detail {
 
-  const auto& forest = forest_;
+eval::RouteSolution extract_solution(const dag::DagForest& forest,
+                                     const Relaxation& relax,
+                                     const std::vector<float>& capacities,
+                                     const DgrConfig& config, float via_cost_scale,
+                                     const std::vector<float>& q,
+                                     const std::vector<float>& p) {
+  DGR_TRACE_SCOPE("core.extract");
   const auto& trees = forest.trees();
   const auto& subnets = forest.subnets();
   const auto& paths = forest.paths();
-  const auto& net_offsets = relax_.tree_group_offsets;
+  const auto& net_offsets = relax.tree_group_offsets;
   const std::size_t num_nets = forest.net_count();
 
   // 1. Argmax tree per net.
@@ -62,10 +68,9 @@ eval::RouteSolution DgrSolver::extract() const {
                    });
 
   // 3. Greedy commitment with true residual capacities.
-  std::vector<double> demand(capacities_.size(), 0.0);
+  std::vector<double> demand(capacities.size(), 0.0);
   const auto& inc_edges = forest.inc_edges();
   const auto& inc_weights = forest.inc_weights();
-  const float via_scale = via_cost_scale_;
 
   auto marginal_cost = [&](std::size_t path_idx) -> double {
     const dag::PathCandidate& pc = paths[path_idx];
@@ -73,12 +78,12 @@ eval::RouteSolution DgrSolver::extract() const {
     for (std::uint32_t k = pc.inc_begin; k < pc.inc_end; ++k) {
       const auto e = static_cast<std::size_t>(inc_edges[k]);
       const double w = inc_weights[k];
-      const double cap = capacities_[e];
+      const double cap = capacities[e];
       over += std::max(0.0, demand[e] + w - cap) - std::max(0.0, demand[e] - cap);
     }
-    return static_cast<double>(config_.weight_overflow) * over +
-           static_cast<double>(config_.weight_wirelength) * pc.wirelength +
-           static_cast<double>(config_.weight_via) * via_scale * pc.turns;
+    return static_cast<double>(config.weight_overflow) * over +
+           static_cast<double>(config.weight_wirelength) * pc.wirelength +
+           static_cast<double>(config.weight_via) * via_cost_scale * pc.turns;
   };
 
   std::vector<std::int32_t> chosen_path(subnets.size(), -1);
@@ -96,7 +101,7 @@ eval::RouteSolution DgrSolver::extract() const {
     std::size_t keep = 0;
     for (; keep < order.size(); ++keep) {
       cum += p[order[keep]];
-      if (cum > config_.top_p) {
+      if (cum > config.top_p) {
         ++keep;
         break;
       }
@@ -133,6 +138,15 @@ eval::RouteSolution DgrSolver::extract() const {
     }
   }
   return sol;
+}
+
+}  // namespace detail
+
+eval::RouteSolution DgrSolver::extract() const {
+  const float t_final = temperature_at(config_.iterations - 1);
+  return detail::extract_solution(forest_, relax_, capacities_, config_,
+                                  via_cost_scale_, tree_probs(t_final),
+                                  path_probs(t_final));
 }
 
 }  // namespace dgr::core

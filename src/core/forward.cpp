@@ -1,0 +1,80 @@
+#include "core/forward.hpp"
+
+#include <cmath>
+
+#include "ad/ops.hpp"
+
+namespace dgr::core::detail {
+
+float temperature_schedule(const DgrConfig& config, int iteration) {
+  const int decays = config.temperature_interval > 0
+                         ? iteration / config.temperature_interval
+                         : 0;
+  return config.initial_temperature *
+         std::pow(config.temperature_decay, static_cast<float>(decays));
+}
+
+ForwardGraph build_forward_graph(ad::Tape& tape, const Relaxation& relax,
+                                 const std::vector<float>& capacities,
+                                 const float* params, const DgrConfig& config,
+                                 float via_cost_scale, float temperature,
+                                 const std::vector<float>* path_noise,
+                                 const std::vector<float>* tree_noise) {
+  const std::size_t np = relax.path_count();
+  const std::size_t nt = relax.tree_count();
+
+  ForwardGraph fw;
+  fw.path_logits = tape.input(params, np);
+  fw.tree_logits = tape.input(params + np, nt);
+
+  ad::NodeId eff, overflow;
+  if (config.fused_kernels) {
+    // Fused hot path: softmax→coupling→demand as one multi-stage job, and
+    // the Eq. 9 overflow term as a single activation+reduction pass.
+    const ad::FusedSelectionDemand sel = ad::fused_softmax_demand(
+        tape, fw.path_logits, fw.tree_logits, relax.path_group_offsets,
+        relax.tree_group_offsets, relax.path_tree, relax.tree_path_offsets,
+        relax.incidence, temperature, path_noise, tree_noise);
+    eff = sel.eff;
+    overflow = ad::fused_overflow_cost(tape, sel.demand, capacities,
+                                       config.activation, config.activation_alpha);
+  } else {
+    // Reference graph, one op per primitive.
+    // p = gumbel_softmax(w_path) over subnet groups; q over net groups.
+    const ad::NodeId p = ad::segment_softmax(tape, fw.path_logits,
+                                             relax.path_group_offsets, temperature,
+                                             path_noise);
+    const ad::NodeId q = ad::segment_softmax(tape, fw.tree_logits,
+                                             relax.tree_group_offsets, temperature,
+                                             tree_noise);
+
+    // eff_i = q_tree(i) * p_i — joint selection mass of path i.
+    eff = ad::gather_mul(tape, q, relax.path_tree, p);
+
+    // Expected demand (Eq. 10): weighted scatter of eff over crossed edges
+    // (weights already include the beta/2 via charges).
+    const ad::NodeId demand = ad::spmv(tape, eff, relax.incidence);
+
+    // overflow_cost = Σ_e f(d_e - cap_e) (Eq. 9).
+    const ad::NodeId slack = ad::sub_const(tape, demand, capacities);
+    const ad::NodeId overflow_vec =
+        ad::apply_activation(tape, slack, config.activation, config.activation_alpha);
+    overflow = ad::weighted_sum(tape, overflow_vec);
+  }
+
+  // wirelength_cost = Σ eff_i WL_i (Eq. 11); via_cost = √L Σ eff_i TP_i (Eq. 12).
+  const ad::NodeId wl = ad::weighted_sum(tape, eff, relax.wirelength);
+  const ad::NodeId via = ad::weighted_sum(tape, eff, relax.turns);
+
+  fw.cost = ad::combine(tape, {overflow, via, wl},
+                        {config.weight_overflow, config.weight_via * via_cost_scale,
+                         config.weight_wirelength});
+
+  fw.breakdown.overflow = tape.value(overflow)[0];
+  fw.breakdown.wirelength = tape.value(wl)[0];
+  fw.breakdown.via = static_cast<double>(via_cost_scale) * tape.value(via)[0];
+  fw.breakdown.total = tape.value(fw.cost)[0];
+  return fw;
+}
+
+}  // namespace dgr::core::detail

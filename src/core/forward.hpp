@@ -1,0 +1,50 @@
+#pragma once
+/// \file
+/// \brief Shared graph-construction and extraction internals of the DGR
+/// solver, factored out of DgrSolver so BatchedDgrSolver (core/batch.hpp)
+/// records the *same* per-design computation graph and runs the same
+/// discrete extraction without duplicating either. Everything here is
+/// deterministic given its inputs — the batched/solo bitwise-equivalence
+/// tests lean on that.
+
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace dgr::core::detail {
+
+/// The annealing schedule (Section 5): initial temperature decayed every
+/// `temperature_interval` iterations. Pure function of (config, iteration) —
+/// shared by the solo and batched solvers.
+float temperature_schedule(const DgrConfig& config, int iteration);
+
+/// Handles into one design's forward graph on a tape.
+struct ForwardGraph {
+  ad::NodeId cost;
+  ad::NodeId path_logits;
+  ad::NodeId tree_logits;
+  CostBreakdown breakdown;
+};
+
+/// Records the Fig. 4 computation graph for one design onto `tape`.
+/// `params` points at this design's [path logits | tree logits] slab
+/// (path_count + tree_count floats). Multiple designs may be recorded onto
+/// one tape back-to-back; their subgraphs are disjoint, which is what makes
+/// Tape::backward_multi equivalent to per-design backward calls.
+ForwardGraph build_forward_graph(ad::Tape& tape, const Relaxation& relax,
+                                 const std::vector<float>& capacities,
+                                 const float* params, const DgrConfig& config,
+                                 float via_cost_scale, float temperature,
+                                 const std::vector<float>* path_noise,
+                                 const std::vector<float>* tree_noise);
+
+/// Discrete extraction (Section 4.5) from already-computed tree probabilities
+/// `q` and path probabilities `p` at the final temperature.
+eval::RouteSolution extract_solution(const dag::DagForest& forest,
+                                     const Relaxation& relax,
+                                     const std::vector<float>& capacities,
+                                     const DgrConfig& config, float via_cost_scale,
+                                     const std::vector<float>& q,
+                                     const std::vector<float>& p);
+
+}  // namespace dgr::core::detail

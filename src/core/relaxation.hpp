@@ -35,6 +35,27 @@ struct Relaxation {
   /// Wired to the forest's CSR pair; rows = g-cell edges.
   ad::SparseIncidence incidence;
 
+  // incidence.bwd_offsets points at this struct's own path_inc_offsets, so
+  // relocation must re-bind it: the move operations do, and copying is
+  // disabled (every owner holds exactly one Relaxation per forest anyway).
+  Relaxation() = default;
+  Relaxation(Relaxation&& other) noexcept { *this = std::move(other); }
+  Relaxation& operator=(Relaxation&& other) noexcept {
+    forest = other.forest;
+    path_group_offsets = std::move(other.path_group_offsets);
+    tree_group_offsets = std::move(other.tree_group_offsets);
+    path_tree = std::move(other.path_tree);
+    tree_path_offsets = std::move(other.tree_path_offsets);
+    path_inc_offsets = std::move(other.path_inc_offsets);
+    wirelength = std::move(other.wirelength);
+    turns = std::move(other.turns);
+    incidence = other.incidence;
+    incidence.bwd_offsets = &path_inc_offsets;
+    return *this;
+  }
+  Relaxation(const Relaxation&) = delete;
+  Relaxation& operator=(const Relaxation&) = delete;
+
   std::size_t path_count() const { return path_tree.size(); }
   std::size_t tree_count() const { return forest->trees().size(); }
   std::size_t subnet_count() const { return path_group_offsets.size() - 1; }

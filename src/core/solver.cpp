@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/forward.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/fault.hpp"
@@ -35,71 +36,16 @@ DgrSolver::DgrSolver(const dag::DagForest& forest, std::vector<float> capacities
 }
 
 float DgrSolver::temperature_at(int iteration) const {
-  const int decays = config_.temperature_interval > 0
-                         ? iteration / config_.temperature_interval
-                         : 0;
-  return config_.initial_temperature *
-         std::pow(config_.temperature_decay, static_cast<float>(decays));
+  return detail::temperature_schedule(config_, iteration);
 }
 
 DgrSolver::Forward DgrSolver::build_forward(ad::Tape& tape, float temperature,
                                             const std::vector<float>* path_noise,
                                             const std::vector<float>* tree_noise) const {
-  const std::size_t np = relax_.path_count();
-  const std::size_t nt = relax_.tree_count();
-
-  Forward fw;
-  fw.path_logits = tape.input(params_.data(), np);
-  fw.tree_logits = tape.input(params_.data() + np, nt);
-
-  ad::NodeId eff, overflow;
-  if (config_.fused_kernels) {
-    // Fused hot path: softmax→coupling→demand as one multi-stage job, and
-    // the Eq. 9 overflow term as a single activation+reduction pass.
-    const ad::FusedSelectionDemand sel = ad::fused_softmax_demand(
-        tape, fw.path_logits, fw.tree_logits, relax_.path_group_offsets,
-        relax_.tree_group_offsets, relax_.path_tree, relax_.tree_path_offsets,
-        relax_.incidence, temperature, path_noise, tree_noise);
-    eff = sel.eff;
-    overflow = ad::fused_overflow_cost(tape, sel.demand, capacities_,
-                                       config_.activation, config_.activation_alpha);
-  } else {
-    // Reference graph, one op per primitive.
-    // p = gumbel_softmax(w_path) over subnet groups; q over net groups.
-    const ad::NodeId p = ad::segment_softmax(tape, fw.path_logits,
-                                             relax_.path_group_offsets, temperature,
-                                             path_noise);
-    const ad::NodeId q = ad::segment_softmax(tape, fw.tree_logits,
-                                             relax_.tree_group_offsets, temperature,
-                                             tree_noise);
-
-    // eff_i = q_tree(i) * p_i — joint selection mass of path i.
-    eff = ad::gather_mul(tape, q, relax_.path_tree, p);
-
-    // Expected demand (Eq. 10): weighted scatter of eff over crossed edges
-    // (weights already include the beta/2 via charges).
-    const ad::NodeId demand = ad::spmv(tape, eff, relax_.incidence);
-
-    // overflow_cost = Σ_e f(d_e - cap_e) (Eq. 9).
-    const ad::NodeId slack = ad::sub_const(tape, demand, capacities_);
-    const ad::NodeId overflow_vec =
-        ad::apply_activation(tape, slack, config_.activation, config_.activation_alpha);
-    overflow = ad::weighted_sum(tape, overflow_vec);
-  }
-
-  // wirelength_cost = Σ eff_i WL_i (Eq. 11); via_cost = √L Σ eff_i TP_i (Eq. 12).
-  const ad::NodeId wl = ad::weighted_sum(tape, eff, relax_.wirelength);
-  const ad::NodeId via = ad::weighted_sum(tape, eff, relax_.turns);
-
-  fw.cost = ad::combine(tape, {overflow, via, wl},
-                        {config_.weight_overflow, config_.weight_via * via_cost_scale_,
-                         config_.weight_wirelength});
-
-  fw.breakdown.overflow = tape.value(overflow)[0];
-  fw.breakdown.wirelength = tape.value(wl)[0];
-  fw.breakdown.via = static_cast<double>(via_cost_scale_) * tape.value(via)[0];
-  fw.breakdown.total = tape.value(fw.cost)[0];
-  return fw;
+  const detail::ForwardGraph fw =
+      detail::build_forward_graph(tape, relax_, capacities_, params_.data(), config_,
+                                  via_cost_scale_, temperature, path_noise, tree_noise);
+  return Forward{fw.cost, fw.path_logits, fw.tree_logits, fw.breakdown};
 }
 
 double DgrSolver::train_step(int iteration) {
@@ -108,29 +54,35 @@ double DgrSolver::train_step(int iteration) {
   const std::size_t np = relax_.path_count();
   const std::size_t nt = relax_.tree_count();
 
-  std::vector<float> path_noise, tree_noise;
   if (config_.use_gumbel) {
     // Generation 0 reproduces the historical noise stream exactly; each
     // rollback bumps the generation so replayed iterations decorrelate.
     util::Rng noise_rng = rng_.fork(0x6E015E ^ static_cast<std::uint64_t>(iteration) ^
                                     (static_cast<std::uint64_t>(noise_generation_) << 40));
-    path_noise.resize(np);
-    tree_noise.resize(nt);
-    for (float& g : path_noise) g = static_cast<float>(noise_rng.gumbel());
-    for (float& g : tree_noise) g = static_cast<float>(noise_rng.gumbel());
+    path_noise_.resize(np);
+    tree_noise_.resize(nt);
+    for (float& g : path_noise_) g = static_cast<float>(noise_rng.gumbel());
+    for (float& g : tree_noise_) g = static_cast<float>(noise_rng.gumbel());
   }
 
-  ad::Tape tape;
-  const Forward fw = build_forward(tape, t, config_.use_gumbel ? &path_noise : nullptr,
-                                   config_.use_gumbel ? &tree_noise : nullptr);
+  // Steady-state iterations re-record the same graph shape into the reused
+  // member tape, so after the first step neither the tape nor the noise /
+  // gradient buffers allocate (the ad.arena_regrowth counter proves it).
+  // reuse_tape=false reverts to a fresh tape per step for A/B measurement.
+  ad::Tape fresh;
+  ad::Tape& tape = config_.reuse_tape ? tape_ : fresh;
+  if (config_.reuse_tape) tape_.reset();
+  const Forward fw = build_forward(tape, t, config_.use_gumbel ? &path_noise_ : nullptr,
+                                   config_.use_gumbel ? &tree_noise_ : nullptr);
   tape.backward(fw.cost);
   peak_tape_bytes_ = std::max(peak_tape_bytes_, tape.memory_bytes());
 
   // Concatenate gradients and take one Adam step over all logits.
-  std::vector<double> grads(params_.size());
+  std::vector<double>& grads = grads_;
+  grads.resize(params_.size());
   {
-    const auto& gp = tape.grad(fw.path_logits);
-    const auto& gt = tape.grad(fw.tree_logits);
+    const std::span<const double> gp = tape.grad(fw.path_logits);
+    const std::span<const double> gt = tape.grad(fw.tree_logits);
     std::copy(gp.begin(), gp.end(), grads.begin());
     std::copy(gt.begin(), gt.end(), grads.begin() + static_cast<std::ptrdiff_t>(np));
   }
@@ -280,7 +232,8 @@ std::vector<float> DgrSolver::path_probs(float temperature) const {
   const ad::NodeId logits = tape.input(params_.data(), relax_.path_count());
   const ad::NodeId p =
       ad::segment_softmax(tape, logits, relax_.path_group_offsets, temperature, nullptr);
-  return tape.value(p);
+  const std::span<const float> pv = tape.value(p);
+  return {pv.begin(), pv.end()};
 }
 
 std::vector<float> DgrSolver::tree_probs(float temperature) const {
@@ -289,7 +242,8 @@ std::vector<float> DgrSolver::tree_probs(float temperature) const {
       tape.input(params_.data() + relax_.path_count(), relax_.tree_count());
   const ad::NodeId q =
       ad::segment_softmax(tape, logits, relax_.tree_group_offsets, temperature, nullptr);
-  return tape.value(q);
+  const std::span<const float> qv = tape.value(q);
+  return {qv.begin(), qv.end()};
 }
 
 }  // namespace dgr::core

@@ -122,6 +122,14 @@ class DgrSolver {
   std::vector<float> params_;  ///< [path logits | tree logits]
   ad::Adam adam_;
   util::Rng rng_;
+  /// Reused across train_step calls (config.reuse_tape): reset() keeps the
+  /// arena capacity, so steady-state iterations record the same graph with
+  /// zero heap allocation. The noise/grad buffers below reach a fixed size
+  /// after the first step for the same reason.
+  ad::Tape tape_;
+  std::vector<float> path_noise_;
+  std::vector<float> tree_noise_;
+  std::vector<double> grads_;
   float via_cost_scale_ = 1.0f;  ///< √L of Eq. (5)
   std::size_t peak_tape_bytes_ = 0;
   bool last_step_finite_ = true;

@@ -69,6 +69,9 @@ eval::RouteSolution DgrRouter::route(RoutingContext& ctx) {
 
   stats_.solver_bytes = forest.memory_bytes() + solver.relaxation().memory_bytes() +
                         train.tape_bytes;
+  // Arena high-water mark of the reused tape, reported on its own so memory
+  // regressions in the AD substrate are not masked by forest growth.
+  stats_.add_counter("tape_bytes", static_cast<double>(train.tape_bytes));
   stats_.add_counter("iterations", static_cast<double>(train.iterations_run));
   stats_.add_counter("final_cost", train.final_cost.total);
   stats_.add_counter("path_candidates", static_cast<double>(forest.paths().size()));

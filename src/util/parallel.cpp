@@ -22,9 +22,33 @@ std::size_t default_workers() {
 // A persistent pool executing multi-stage jobs. Creating threads per call
 // would dominate the cost of the small kernels DGR runs thousands of times,
 // and even a condition-variable round trip per kernel is measurable — so a
-// job carries an ARRAY of stages: workers wake once, then move from stage to
-// stage through spin barriers (fetch_add + yield loop), which cost tens of
-// nanoseconds instead of a sleep/wake cycle.
+// job carries an ARRAY of stages and workers wake once for the whole chain.
+//
+// Two design decisions keep thread scheduling off the submitter's critical
+// path entirely:
+//
+//  * Progress is tracked per CHUNK, not per participant: stage s is complete
+//    when all of its chunks have retired, and whoever observes that (the
+//    caller participates) moves straight on to stage s+1 — or, after the
+//    last stage, returns. Nobody ever waits for a *thread* to arrive, so a
+//    worker the OS has not scheduled simply contributes nothing instead of
+//    adding a context-switch round trip to every stage boundary.
+//
+//  * Jobs live in a two-slot ring of pool-owned descriptors. A submission
+//    into slot s%2 only waits for leftover workers of the job TWO epochs
+//    back (same slot); the job just finished keeps its slot until then, so
+//    back-to-back kernels never stall on the previous job's checkout. A
+//    worker that wakes late simply processes whatever the current epoch is
+//    (claiming whatever chunks remain, often none) and checks out of that
+//    job's slot; epoch-stamped counters keep the accounting straight when a
+//    worker sleeps through a job entirely.
+//
+// On an oversubscribed machine (worker_count > cores) the caller therefore
+// drains whole jobs alone at memory speed while workers tick along in the
+// background; on real multicore the workers wake once per job and claim
+// chunks exactly as before. Results are bitwise identical either way: chunk
+// boundaries derive from (begin, end, grain) only, and every output element
+// is owned by the chunk that writes it.
 //
 // Single-client discipline: jobs are submitted from one thread at a time
 // (the solver's training loop); stage functions must not submit nested jobs.
@@ -34,6 +58,11 @@ class Pool {
     static Pool pool;
     return pool;
   }
+
+  // At most kMaxStages stages per submission; pool_run_stages splits longer
+  // chains into batches (a full gate between batches is strictly stronger
+  // than the inter-stage gate, so semantics are unchanged).
+  static constexpr std::size_t kMaxStages = 8;
 
   void run(const detail::RawStage* stages, std::size_t count) {
     const std::size_t workers = worker_count();
@@ -46,30 +75,84 @@ class Pool {
       return;
     }
     std::unique_lock<std::mutex> lock(mu_);
+    const std::uint64_t epoch = epoch_ + 1;
+    Slot& slot = slots_[epoch % 2];
+    // Reuse gate: workers still inside the job two epochs back hold this
+    // slot. They had the whole previous job's duration to check out, so this
+    // wait is almost always a no-op.
+    cv_done_.wait(lock, [&] { return slot.refs == 0; });
     ensure_threads_locked(workers - 1);
-    stages_ = stages;
-    stage_count_ = count;
-    // Exactly `workers` participants: the caller plus threads [0, workers-1).
-    // Extra pool threads left over from a larger previous worker_count wake,
-    // see they are not enrolled, and go back to sleep.
+    slot.count = count;
+    for (std::size_t s = 0; s < count; ++s) {
+      slot.job[s] = stages[s];
+      slot.chunks[s] = stages[s].begin < stages[s].end
+                           ? (stages[s].end - stages[s].begin + stages[s].grain - 1) /
+                                 stages[s].grain
+                           : 0;
+      slot.cursor[s].store(stages[s].begin, std::memory_order_relaxed);
+      slot.done[s].store(0, std::memory_order_relaxed);
+    }
+    // Span emission is decided per JOB at submit time: a worker waking late
+    // for a job submitted before tracing was enabled must not leak a
+    // "pool.job" span into the traced window (and vice versa).
+    slot.traced = obs::tracing_enabled();
+    // Exactly `workers` participants MAY run this job: the caller plus pool
+    // threads [0, workers-1). Extra pool threads left over from a larger
+    // previous worker_count wake, see they are not enrolled, and go back to
+    // sleep. pending_ is epoch-stamped: a worker that slept through this job
+    // entirely (the next submission overwrote the epoch first) never
+    // decrements a stale counter.
     active_threads_ = workers - 1;
-    participants_ = workers;
     pending_ = static_cast<int>(active_threads_);
-    stage_idx_.store(0, std::memory_order_relaxed);
-    arrived_.store(0, std::memory_order_relaxed);
-    cursor_.store(stages[0].begin, std::memory_order_relaxed);
-    ++epoch_;
-    cv_start_.notify_all();
+    epoch_ = epoch;
+    if (slot.traced) {
+      // Traced jobs wake every enrolled worker so the Chrome timeline shows
+      // one "pool.job" span per participant (the drain below guarantees they
+      // all ran before the submission returns).
+      cv_start_.notify_all();
+    } else {
+      // Never wake more workers than spare hardware threads: on an
+      // oversubscribed machine (worker_count > cores) an extra runnable
+      // worker cannot make CPU-bound chunks finish sooner — it only adds
+      // context switches to the caller's critical path. The caller drains
+      // whatever un-woken workers would have claimed; results are bitwise
+      // identical because chunk boundaries do not depend on who executes
+      // them. Workers left asleep simply join a later job.
+      static const std::size_t spare = [] {
+        const unsigned hc = std::thread::hardware_concurrency();
+        return hc > 1 ? static_cast<std::size_t>(hc - 1) : std::size_t{0};
+      }();
+      if (spare >= active_threads_) {
+        cv_start_.notify_all();
+      } else {
+        for (std::size_t i = 0; i < spare; ++i) cv_start_.notify_one();
+      }
+    }
     lock.unlock();
 
-    work_stages();  // caller participates
+    work_stages(slot);  // caller participates; returns once every chunk retired
 
-    lock.lock();
-    cv_done_.wait(lock, [&] { return pending_ == 0; });
-    stages_ = nullptr;
+    // With tracing on, drain every enrolled worker before returning so each
+    // participant's "pool.job" span lands inside the caller's enclosing span
+    // (and the Chrome timeline never shows job-N worker spans overlapping
+    // job N+1). Tracing only observes — results are identical either way.
+    if (slot.traced) {
+      lock.lock();
+      cv_done_.wait(lock, [&] { return pending_ == 0; });
+    }
   }
 
  private:
+  struct Slot {
+    detail::RawStage job[kMaxStages];
+    std::size_t chunks[kMaxStages] = {};
+    std::size_t count = 0;
+    bool traced = false;
+    int refs = 0;  // workers currently executing this slot (guarded by mu_)
+    std::atomic<std::size_t> cursor[kMaxStages] = {};
+    std::atomic<std::size_t> done[kMaxStages] = {};
+  };
+
   Pool() = default;
   ~Pool() {
     {
@@ -93,57 +176,59 @@ class Pool {
           cv_start_.wait(lock, [&] { return epoch_ != my_epoch || stopping_; });
           if (stopping_) return;
           my_epoch = epoch_;
-          if (stages_ == nullptr || my_index >= active_threads_) continue;
+          if (my_index >= active_threads_) continue;
+          Slot& slot = slots_[my_epoch % 2];
+          ++slot.refs;
           lock.unlock();
-          work_stages();
+          work_stages(slot);
           lock.lock();
-          if (--pending_ == 0) cv_done_.notify_one();
+          --slot.refs;
+          if (my_epoch == epoch_) --pending_;
+          cv_done_.notify_one();
         }
       });
     }
   }
 
-  // Executes every stage of the current job, claiming chunks from the shared
-  // cursor. The inter-stage barrier: the last arriver resets the cursor for
-  // the next stage and publishes it with a release store on stage_idx_; the
-  // others spin (yield) until they observe the bump. The acquire/acq_rel
-  // chain on arrived_/stage_idx_ makes all stage-s writes visible to stage
-  // s+1 readers. After the final barrier nobody touches the caller-owned
-  // stage array again, so the caller may return as soon as its own
-  // work_stages() call unwinds (plus the cv_done_ handshake that keeps
-  // pending_ consistent for the next submission).
-  void work_stages() {
-    // One span per participant per fused job: with tracing enabled the
-    // Chrome timeline shows every worker's share of each submission; when
-    // runtime-disabled this is a single relaxed load (determinism and the
-    // <1% overhead contract are unaffected — the tracer only observes).
-    DGR_TRACE_SCOPE("pool.job");
-    const detail::RawStage* const stages = stages_;
-    const std::size_t count = stage_count_;
-    const std::size_t participants = participants_;
+  // Executes every stage of the given job, claiming chunks from the
+  // per-stage cursor. Stage gate: each retired chunk does a release
+  // fetch_add on done[s]; moving on requires an acquire load observing the
+  // full count, which makes all stage-s writes visible to stage-s+1 readers
+  // (and to the caller when it returns after the final gate). A participant
+  // that claims nothing passes each gate as soon as the chunks retire —
+  // late-waking workers cost bookkeeping, never a stage delay.
+  void work_stages(Slot& slot) {
+    // One span per participant per traced job: the Chrome timeline shows
+    // every worker's share of each submission (determinism is unaffected —
+    // the tracer only observes).
+    if (slot.traced) {
+      DGR_TRACE_SCOPE("pool.job");
+      execute_stages(slot);
+    } else {
+      execute_stages(slot);
+    }
+  }
+
+  void execute_stages(Slot& slot) {
+    const std::size_t count = slot.count;
     for (std::size_t s = 0; s < count; ++s) {
-      const detail::RawStage st = stages[s];
+      const detail::RawStage st = slot.job[s];
+      const std::size_t n_chunks = slot.chunks[s];
       for (;;) {
-        const std::size_t lo = cursor_.fetch_add(st.grain, std::memory_order_relaxed);
+        const std::size_t lo =
+            slot.cursor[s].fetch_add(st.grain, std::memory_order_relaxed);
         if (lo >= st.end) break;
         const std::size_t hi = lo + st.grain < st.end ? lo + st.grain : st.end;
         st.fn(st.ctx, lo, hi);
+        slot.done[s].fetch_add(1, std::memory_order_release);
       }
-      if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants) {
-        arrived_.store(0, std::memory_order_relaxed);
-        if (s + 1 < count) {
-          cursor_.store(stages[s + 1].begin, std::memory_order_relaxed);
-        }
-        stage_idx_.store(s + 1, std::memory_order_release);
-      } else {
-        // Brief spin, then yield: on oversubscribed machines the peers we
-        // wait for need the core we are holding, so with a single hardware
-        // thread spinning at all is counterproductive.
-        static const int spin_limit = std::thread::hardware_concurrency() > 1 ? 64 : 0;
-        int spins = 0;
-        while (stage_idx_.load(std::memory_order_acquire) <= s) {
-          if (++spins > spin_limit) std::this_thread::yield();
-        }
+      // Brief spin, then yield: on oversubscribed machines the peer holding
+      // the last unretired chunk needs the core we are holding, so with a
+      // single hardware thread spinning at all is counterproductive.
+      static const int spin_limit = std::thread::hardware_concurrency() > 1 ? 64 : 0;
+      int spins = 0;
+      while (slot.done[s].load(std::memory_order_acquire) != n_chunks) {
+        if (++spins > spin_limit) std::this_thread::yield();
       }
     }
   }
@@ -153,19 +238,13 @@ class Pool {
   std::condition_variable cv_done_;
   std::vector<std::thread> threads_;
 
-  // Current job (guarded by mu_ for setup, then read-only during the job).
-  const detail::RawStage* stages_ = nullptr;
-  std::size_t stage_count_ = 0;
+  // Job ring. Slot state is written under mu_ (exclusivity enforced by the
+  // refs reuse gate), then read-only during the job's lifetime.
+  Slot slots_[2];
   std::size_t active_threads_ = 0;
-  std::size_t participants_ = 0;
-  int pending_ = 0;
+  int pending_ = 0;  // enrolled workers yet to process the CURRENT epoch
   std::uint64_t epoch_ = 0;
   bool stopping_ = false;
-
-  // Hot-path atomics.
-  std::atomic<std::size_t> cursor_{0};
-  std::atomic<std::size_t> stage_idx_{0};
-  std::atomic<std::size_t> arrived_{0};
 };
 
 }  // namespace
@@ -180,7 +259,10 @@ void set_worker_count(std::size_t n) { g_override.store(n, std::memory_order_rel
 namespace detail {
 
 void pool_run_stages(const RawStage* stages, std::size_t count) {
-  Pool::instance().run(stages, count);
+  for (std::size_t s = 0; s < count; s += Pool::kMaxStages) {
+    const std::size_t batch = count - s < Pool::kMaxStages ? count - s : Pool::kMaxStages;
+    Pool::instance().run(stages + s, batch);
+  }
 }
 
 }  // namespace detail

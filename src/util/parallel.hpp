@@ -15,9 +15,12 @@
 //    runs inline on the calling thread with no pool wakeup at all;
 //  * fused multi-stage tasks — a chain of dependent kernels (e.g. the DGR
 //    softmax -> expectation -> scatter pipeline) is submitted as one job:
-//    one condition-variable wakeup covers every stage, with cheap spin
-//    barriers between consecutive stages instead of a sleep/wake round trip
-//    per kernel.
+//    one condition-variable wakeup covers every stage, with per-stage
+//    chunk-retirement gates between consecutive stages instead of a
+//    sleep/wake round trip per kernel. Gates count completed CHUNKS, not
+//    arrived threads, so a worker the OS never scheduled cannot delay a
+//    stage boundary — the caller participates and can drain a whole job
+//    alone at memory speed on an oversubscribed machine.
 //
 // Determinism contract: a stage's function receives ownership of the index
 // range it is handed; it may only write state owned by those indices. Chunk
@@ -52,9 +55,11 @@ struct RawStage {
   std::size_t grain = 1;
 };
 
-/// Runs `count` stages on the persistent pool with ONE wakeup: workers claim
-/// chunks of stage s from a shared cursor, then pass a spin barrier before
-/// stage s+1 begins. Blocks until every stage has completed. Defined in
+/// Runs `count` stages on the persistent pool with ONE wakeup: participants
+/// claim chunks of stage s from a shared cursor, then pass a chunk-retirement
+/// gate before stage s+1 begins. Returns once every chunk of every stage has
+/// completed (late-waking workers may still be checking out; the next
+/// submission waits for them before reusing the job slot). Defined in
 /// parallel.cpp. Precondition: count >= 1, every grain >= 1.
 void pool_run_stages(const RawStage* stages, std::size_t count);
 
