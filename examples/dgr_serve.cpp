@@ -1,0 +1,136 @@
+// dgr_serve: the routing-as-a-service daemon.
+//
+// Speaks one JSON request per line on stdin (responses on stdout) and,
+// with --socket PATH, on a Unix domain socket as well. See DESIGN.md §10
+// for the protocol grammar; README.md has a sample session.
+//
+//   ./example_dgr_serve --workers 4 --deadline-ms 2000 --metrics metrics.json
+//   {"id":"r1","op":"load","session":"s1","path":"design.dgrd"}
+//   {"id":"r2","op":"route","session":"s1","router":"dgr","seed":3}
+//   {"id":"r3","op":"eco","session":"s1","mutation":{"generate":true,"seed":7}}
+//   {"id":"r4","op":"shutdown"}
+//
+// SIGINT/SIGTERM drain the queue and flush the metrics snapshot / trace
+// before exiting; a second signal cancels in-flight work instead.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "dgr/dgr.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --workers N          routing worker threads (default 2)\n"
+               "  --queue N            admission queue capacity (default 16)\n"
+               "  --deadline-ms X      default per-request deadline (default none)\n"
+               "  --router NAME        default router (default dgr)\n"
+               "  --fallback NAME      degradation fallback; 'none' disables\n"
+               "  --iterations N       default DGR iterations (default 60)\n"
+               "  --attempts N         route attempts before degrading (default 2)\n"
+               "  --rate R             admission rate limit, req/s (default off)\n"
+               "  --burst N            rate-limit burst size (default 8)\n"
+               "  --max-input-bytes N  reject designs larger than N bytes\n"
+               "  --max-nets N         reject designs with more nets\n"
+               "  --max-pins N         reject designs with more total pins\n"
+               "  --cache-sessions N   session cache capacity (default 8)\n"
+               "  --cache-bytes N      session cache memory budget (default none)\n"
+               "  --socket PATH        also listen on a unix domain socket\n"
+               "  --metrics PATH       write a metrics snapshot on shutdown\n"
+               "  --trace PATH         record + write a Chrome trace on shutdown\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dgr::serve::Server;
+  using dgr::serve::ServerOptions;
+
+  ServerOptions options;
+  std::string socket_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      options.workers = std::atoi(next());
+    } else if (arg == "--queue") {
+      options.queue_capacity = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--deadline-ms") {
+      options.default_deadline_ms = std::atof(next());
+    } else if (arg == "--router") {
+      options.default_router = next();
+    } else if (arg == "--fallback") {
+      options.fallback_router = next();
+      if (options.fallback_router == "none") options.fallback_router.clear();
+    } else if (arg == "--iterations") {
+      options.default_iterations = std::atoi(next());
+    } else if (arg == "--attempts") {
+      options.max_attempts = std::atoi(next());
+    } else if (arg == "--rate") {
+      options.rate_limit_per_sec = std::atof(next());
+    } else if (arg == "--burst") {
+      options.rate_burst = std::atof(next());
+    } else if (arg == "--max-input-bytes") {
+      options.design_limits.max_input_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--max-nets") {
+      options.design_limits.max_nets = std::atoll(next());
+    } else if (arg == "--max-pins") {
+      options.design_limits.max_total_pins = std::atoll(next());
+    } else if (arg == "--cache-sessions") {
+      options.cache.max_sessions = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--cache-bytes") {
+      options.cache.memory_budget_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--metrics") {
+      options.metrics_snapshot_path = next();
+    } else if (arg == "--trace") {
+      options.trace_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  dgr::serve::install_signal_handlers();
+  if (!options.trace_path.empty()) dgr::obs::set_tracing(true);
+
+  Server server(options);
+  server.start();
+
+  dgr::serve::UnixSocketListener listener(server);
+  if (!socket_path.empty()) {
+    const dgr::Status bound = listener.listen(socket_path);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "%s\n", bound.to_string().c_str());
+      return 1;
+    }
+  }
+
+  dgr::serve::run_stdio(server, std::cin, std::cout);
+
+  // First signal (or EOF / shutdown op): drain. A signal received during
+  // the drain cancels instead.
+  const bool cancel = dgr::serve::signal_received() != 0 &&
+                      dgr::serve::signal_received() != SIGINT;
+  listener.stop();
+  server.shutdown(/*drain=*/!cancel);
+  return 0;
+}

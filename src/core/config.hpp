@@ -5,6 +5,7 @@
 /// Adam lr 0.3, 1000 iterations, initial temperature 1 scaled by 0.9 every
 /// 100 iterations, Gumbel noise on, top-p extraction.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -56,6 +57,12 @@ struct DgrConfig {
   /// loop stops at the best-so-far checkpoint and reports
   /// StatusCode::kStageTimeout (the pipeline's cooperative stage budget).
   double time_budget_seconds = 0.0;
+  /// Optional external cancel flag, polled once per train iteration. When
+  /// it reads true the loop stops at the best-so-far checkpoint exactly as
+  /// a budget expiry (kStageTimeout). Owned by the caller (the serve
+  /// daemon's deadline watchdog sets it from another thread); must outlive
+  /// train(). nullptr = no external cancellation.
+  const std::atomic<bool>* cancel_flag = nullptr;
 
   /// Use the fused softmax→demand and overflow+sum tape kernels (single
   /// pool submission per chain). Off = the original one-op-per-primitive

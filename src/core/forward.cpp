@@ -1,5 +1,6 @@
 #include "core/forward.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ad/ops.hpp"
@@ -10,8 +11,14 @@ float temperature_schedule(const DgrConfig& config, int iteration) {
   const int decays = config.temperature_interval > 0
                          ? iteration / config.temperature_interval
                          : 0;
-  return config.initial_temperature *
-         std::pow(config.temperature_decay, static_cast<float>(decays));
+  // Floor the schedule: at extreme iteration counts (serve clients may ask
+  // for millions) the decayed product underflows float to exactly 0, which
+  // the softmax ops reject. A tiny positive temperature is numerically an
+  // argmax and keeps every downstream op legal.
+  constexpr float kMinTemperature = 1e-6f;
+  return std::max(config.initial_temperature *
+                      std::pow(config.temperature_decay, static_cast<float>(decays)),
+                  kMinTemperature);
 }
 
 ForwardGraph build_forward_graph(ad::Tape& tape, const Relaxation& relax,

@@ -147,6 +147,14 @@ TrainStats DgrSolver::train() {
       restore_checkpoint = best.cost < std::numeric_limits<double>::infinity();
       break;
     }
+    if (config_.cancel_flag != nullptr &&
+        config_.cancel_flag->load(std::memory_order_relaxed)) {
+      stats.status = Status(StatusCode::kStageTimeout,
+                            "train: cancelled by deadline watchdog at iteration " +
+                                std::to_string(it) + "/" + std::to_string(config_.iterations));
+      restore_checkpoint = best.cost < std::numeric_limits<double>::infinity();
+      break;
+    }
 
     const double cost = train_step(it);
     ++steps_executed;

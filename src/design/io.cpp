@@ -25,6 +25,10 @@ Status parse_fail(int line, const std::string& what) {
                 "dgrd parse error at line " + std::to_string(line) + ": " + what);
 }
 
+Status limit_fail(const std::string& what) {
+  return Status(StatusCode::kInvalidDesign, "dgrd input rejected: " + what);
+}
+
 }  // namespace
 
 void write_design(std::ostream& os, const Design& design) {
@@ -52,13 +56,23 @@ void write_design_file(const std::string& path, const Design& design) {
   write_design(os, design);
 }
 
-Result<Design> try_read_design(std::istream& is) {
+Result<Design> try_read_design(std::istream& is, const DesignLimits& limits) {
   int line_no = 0;
   std::string line;
   bool truncated = false;
+  bool over_bytes = false;
+  std::size_t bytes_read = 0;
   auto next_line = [&]() -> bool {
     while (std::getline(is, line)) {
       ++line_no;
+      // The byte cap counts everything consumed from the stream — blanks
+      // and comments included — so a hostile sender cannot smuggle an
+      // arbitrarily large request past the cap as comment padding.
+      bytes_read += line.size() + 1;
+      if (limits.max_input_bytes > 0 && bytes_read > limits.max_input_bytes) {
+        over_bytes = true;
+        return false;
+      }
       // Skip blanks and # comments.
       const auto pos = line.find_first_not_of(" \t\r");
       if (pos == std::string::npos || line[pos] == '#') continue;
@@ -67,7 +81,13 @@ Result<Design> try_read_design(std::istream& is) {
     truncated = true;
     return false;
   };
-  auto eof_fail = [&]() { return parse_fail(line_no, "unexpected end of file"); };
+  auto eof_fail = [&]() {
+    if (over_bytes) {
+      return limit_fail("input exceeds the configured byte cap (" +
+                        std::to_string(limits.max_input_bytes) + " bytes)");
+    }
+    return parse_fail(line_no, "unexpected end of file");
+  };
 
   if (DGR_FAULT_POINT("io.parse")) {
     return Status(StatusCode::kFaultInjected, "injected dgrd parse fault");
@@ -138,8 +158,14 @@ Result<Design> try_read_design(std::istream& is) {
       return parse_fail(line_no, "expected 'nets <N>' with N >= 0");
     }
     if (net_count > kMaxNets) return parse_fail(line_no, "net count exceeds format limit");
+    if (limits.max_nets > 0 && net_count > limits.max_nets) {
+      return limit_fail("net count " + std::to_string(net_count) +
+                        " exceeds the configured cap (" + std::to_string(limits.max_nets) +
+                        " nets)");
+    }
   }
 
+  long long total_pins = 0;
   std::vector<Net> nets;
   nets.reserve(static_cast<std::size_t>(net_count));
   std::unordered_set<std::string> seen_names;
@@ -154,6 +180,11 @@ Result<Design> try_read_design(std::istream& is) {
       return parse_fail(line_no, "expected 'net <name> <npins> ...'");
     }
     if (npins > kMaxPinsPerNet) return parse_fail(line_no, "pin count exceeds format limit");
+    total_pins += npins;
+    if (limits.max_total_pins > 0 && total_pins > limits.max_total_pins) {
+      return limit_fail("total pin count exceeds the configured cap (" +
+                        std::to_string(limits.max_total_pins) + " pins)");
+    }
     if (!seen_names.insert(net.name).second) {
       return parse_fail(line_no, "duplicate net id '" + net.name + "'");
     }
@@ -186,10 +217,10 @@ Result<Design> try_read_design(std::istream& is) {
   }
 }
 
-Result<Design> try_read_design_file(const std::string& path) {
+Result<Design> try_read_design_file(const std::string& path, const DesignLimits& limits) {
   std::ifstream is(path);
   if (!is) return Status(StatusCode::kNotFound, "cannot open for read: " + path);
-  return try_read_design(is);
+  return try_read_design(is, limits);
 }
 
 Design read_design(std::istream& is) {

@@ -33,11 +33,26 @@ namespace dgr::design {
 void write_design(std::ostream& os, const Design& design);
 void write_design_file(const std::string& path, const Design& design);
 
+/// Admission caps for parsing *untrusted* design input (a request arriving
+/// over the serve daemon's socket). The parser's built-in format limits
+/// guard against overflow and runaway allocation; these caps additionally
+/// bound the total size a single request may hand the process. A cap of 0
+/// disables that dimension. Violations return StatusCode::kInvalidDesign
+/// with the exceeded limit named in the message — distinct from
+/// kParseError, which keeps meaning "malformed".
+struct DesignLimits {
+  std::size_t max_input_bytes = 0;  ///< total bytes consumed from the stream
+  long long max_nets = 0;           ///< declared net count
+  long long max_total_pins = 0;     ///< pins summed over all nets
+};
+
 /// Parses a design. On malformed input returns StatusCode::kParseError with
-/// a line-numbered message; on a missing file, kNotFound. Never throws for
-/// bad input.
-Result<Design> try_read_design(std::istream& is);
-Result<Design> try_read_design_file(const std::string& path);
+/// a line-numbered message; on a missing file, kNotFound; on input that is
+/// well-formed but exceeds `limits`, kInvalidDesign. Never throws for bad
+/// input.
+Result<Design> try_read_design(std::istream& is, const DesignLimits& limits = {});
+Result<Design> try_read_design_file(const std::string& path,
+                                    const DesignLimits& limits = {});
 
 /// Throwing convenience wrappers over the Status API (std::runtime_error
 /// carrying Status::to_string()).

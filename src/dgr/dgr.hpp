@@ -55,6 +55,10 @@
 #include "rsmt/one_steiner.hpp"
 #include "rsmt/salt.hpp"
 #include "rsmt/steiner_tree.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/transport.hpp"
 #include "util/log.hpp"
 #include "util/memprobe.hpp"
 #include "util/parallel.hpp"

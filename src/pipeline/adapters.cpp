@@ -54,6 +54,7 @@ eval::RouteSolution DgrRouter::route(RoutingContext& ctx) {
   // build consumed comes out of the solver's training budget.
   core::DgrConfig config = config_;
   config.time_budget_seconds = effective_budget(ctx, config.time_budget_seconds);
+  config.cancel_flag = ctx.cancel_flag();
 
   core::DgrSolver solver(forest, ctx.capacities(), config);
   timer.reset();
@@ -99,6 +100,7 @@ eval::RouteSolution Cugr2Router::route(RoutingContext& ctx) {
   routers::Cugr2LiteOptions opts = options_;
   opts.via_beta = ctx.via_beta();
   opts.time_budget_seconds = effective_budget(ctx, opts.time_budget_seconds);
+  opts.cancel_flag = ctx.cancel_flag();
   routers::Cugr2Lite router(ctx.design(), ctx.capacities(), opts);
   routers::Cugr2LiteStats rs;
   eval::RouteSolution sol = router.route(&rs, ctx.warm_start());
@@ -125,6 +127,7 @@ eval::RouteSolution SpRouteRouter::route(RoutingContext& ctx) {
   routers::SpRouteLiteOptions opts = options_;
   opts.via_beta = ctx.via_beta();
   opts.time_budget_seconds = effective_budget(ctx, opts.time_budget_seconds);
+  opts.cancel_flag = ctx.cancel_flag();
   routers::SpRouteLite router(ctx.design(), ctx.capacities(), opts);
   routers::SpRouteLiteStats rs;
   eval::RouteSolution sol = router.route(&rs, ctx.warm_start());

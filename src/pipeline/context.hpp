@@ -16,6 +16,7 @@
 /// composition (e.g. DGR -> maze refine, SPRoute -> CUGR2 RRR) both hang
 /// off this hook.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -86,6 +87,18 @@ class RoutingContext {
   /// Seconds left of the armed budget (>= 0); +inf when disarmed.
   double stage_budget_remaining() const;
 
+  /// Arms an external cooperative cancel flag for the stage about to run.
+  /// Routers poll it at their budget checkpoints (DGR per train iteration,
+  /// the baselines between rounds) and stop at the best-so-far state as if
+  /// the wall-clock budget expired. The flag is owned by the caller (the
+  /// serve daemon's deadline watchdog sets it from another thread) and must
+  /// outlive the stage; nullptr disarms.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+  const std::atomic<bool>* cancel_flag() const { return cancel_flag_; }
+  bool cancel_requested() const {
+    return cancel_flag_ != nullptr && cancel_flag_->load(std::memory_order_relaxed);
+  }
+
   // ---- DAG forest cache ----------------------------------------------------
   /// The DAG forest for this design, built on first use and cached; a call
   /// with different options rebuilds, invalidating references to the
@@ -115,6 +128,7 @@ class RoutingContext {
   dag::ForestOptions forest_options_;
   double stage_budget_seconds_ = 0.0;
   util::Timer stage_timer_;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
 };
 
 }  // namespace dgr::pipeline

@@ -114,6 +114,8 @@ PipelineResult Pipeline::run_stages(Router& router, const StagePlan& plan) {
   // ---- graceful degradation -----------------------------------------------
   const StageBudgets& budgets = options_.budgets;
   if (!route_status.ok() && should_degrade(route_status.code()) &&
+      (budgets.degrade_on_divergence ||
+       route_status.code() != StatusCode::kNumericDivergence) &&
       !budgets.fallback_router.empty() && budgets.fallback_router != router.name() &&
       has_router(budgets.fallback_router)) {
     DGR_LOG_WARN("pipeline: route stage of '%s' failed (%s); degrading to '%s'",
@@ -121,6 +123,19 @@ PipelineResult Pipeline::run_stages(Router& router, const StagePlan& plan) {
                  budgets.fallback_router.c_str());
     const std::unique_ptr<Router> fallback =
         make_router(budgets.fallback_router, options_.fallback_options);
+    // Preserve the failed attempt's record — in particular its convergence
+    // series (the DGR trajectory up to the divergence/timeout) — before the
+    // fallback's stats take over the main record.
+    {
+      RouteAttempt failed;
+      failed.router = result.stats.router;
+      failed.status = route_status;
+      failed.rollbacks = result.stats.rollbacks;
+      failed.degraded = result.stats.degraded;
+      failed.convergence = std::move(result.stats.convergence);
+      result.stats.attempts.push_back(std::move(failed));
+      result.stats.convergence = {};
+    }
     // Warm-start the fallback from the failed stage's last healthy
     // extraction when it is a complete solution; otherwise route cold.
     if (budgets.warm_start_fallback && result.solution.design != nullptr &&
@@ -142,9 +157,21 @@ PipelineResult Pipeline::run_stages(Router& router, const StagePlan& plan) {
         result.stats.add_counter("fallback_" + counter, value);
       }
       result.stats.status = fs.status;  // OK unless the fallback failed too
+      result.stats.convergence = fs.convergence;
+      RouteAttempt winner;
+      winner.router = budgets.fallback_router;
+      winner.status = fs.status;
+      winner.rollbacks = fs.rollbacks;
+      winner.degraded = fs.degraded;
+      winner.convergence = fs.convergence;
+      result.stats.attempts.push_back(std::move(winner));
     } catch (const std::exception& e) {
       result.stats.status =
           Status(StatusCode::kInternal, budgets.fallback_router + ": " + e.what());
+      RouteAttempt winner;
+      winner.router = budgets.fallback_router;
+      winner.status = result.stats.status;
+      result.stats.attempts.push_back(std::move(winner));
     }
     result.stats.add_stage("fallback_route", timer.seconds());
     result.stats.degraded = true;

@@ -49,6 +49,11 @@ struct StageBudgets {
   /// Warm-start the fallback from the failed router's last healthy
   /// extraction when that solution is complete; otherwise route cold.
   bool warm_start_fallback = true;
+  /// When false, kNumericDivergence surfaces in stats.status instead of
+  /// degrading — for callers that own a retry-with-reseed loop (the serve
+  /// daemon retries divergence with a fresh seed before degrading on its
+  /// final attempt). All other degradable codes still degrade.
+  bool degrade_on_divergence = true;
 };
 
 struct PipelineOptions {

@@ -27,6 +27,20 @@ struct StageTime {
   double seconds = 0.0;
 };
 
+/// One route attempt of a run that took the degradation path: the record of
+/// a router that ran before the pipeline fell back to a cheaper one. Keeps
+/// the failed attempt's convergence telemetry (e.g. DGR's per-iteration
+/// series up to the divergence/timeout) that would otherwise be lost when
+/// the fallback's stats take over the main record.
+struct RouteAttempt {
+  std::string router;   ///< registry name of the engine that attempted
+  Status status;        ///< how the attempt ended
+  std::int64_t rollbacks = 0;  ///< divergence rollbacks the attempt took
+  bool degraded = false;       ///< the attempt itself ran in degraded mode
+  /// The attempt's solver telemetry (empty for combinatorial engines).
+  obs::ConvergenceSeries convergence;
+};
+
 /// Uniform per-run statistics: what every harness needs from every router.
 struct RouterStats {
   std::string router;            ///< registry name of the router that ran
@@ -52,8 +66,16 @@ struct RouterStats {
   /// Per-iteration solver convergence telemetry (loss, overflow expectation,
   /// temperature, gradient norm, rollback events). Populated only by
   /// iterative routers when RouterOptions request it (DGR's
-  /// record_telemetry); empty for the combinatorial baselines.
+  /// record_telemetry); empty for the combinatorial baselines. On a
+  /// degraded run this is the *winning* (fallback) attempt's series; the
+  /// failed primary attempt's series survives in `attempts`.
   obs::ConvergenceSeries convergence;
+
+  /// Attempt history of a degraded run, in execution order: the failed
+  /// primary attempt first (with its status, rollbacks and convergence
+  /// series intact), then the fallback attempt. Empty when the run did not
+  /// degrade.
+  std::vector<RouteAttempt> attempts;
 
   void add_stage(std::string stage, double seconds);
   void add_counter(std::string name, double value);

@@ -142,6 +142,11 @@ RouteSolution Cugr2Lite::route(Cugr2LiteStats* stats, const RouteSolution* warm_
       timed_out = true;
       break;
     }
+    if (options_.cancel_flag != nullptr &&
+        options_.cancel_flag->load(std::memory_order_relaxed)) {
+      timed_out = true;
+      break;
+    }
     // Collect nets crossing overflowed edges.
     std::vector<std::size_t> victims;
     for (std::size_t i = 0; i < sol.nets.size(); ++i) {

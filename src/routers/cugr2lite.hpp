@@ -10,6 +10,8 @@
 // Being sequential, it optimises one net at a time — exactly the local-view
 // weakness DGR's concurrent optimisation addresses.
 
+#include <atomic>
+
 #include "dag/path.hpp"
 #include "design/design.hpp"
 #include "eval/solution.hpp"
@@ -31,6 +33,10 @@ struct Cugr2LiteOptions {
   /// rounds; the initial pass always completes so the returned solution is
   /// whole. On expiry `timed_out` is set and the best snapshot is returned.
   double time_budget_seconds = 0.0;
+  /// Optional external cancel flag, polled at the same between-round
+  /// checkpoints as the budget (caller-owned; the serve daemon's watchdog
+  /// sets it from another thread). Reads-true behaves as a budget expiry.
+  const std::atomic<bool>* cancel_flag = nullptr;
 };
 
 struct Cugr2LiteStats {

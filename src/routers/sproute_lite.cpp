@@ -131,6 +131,11 @@ RouteSolution SpRouteLite::route(SpRouteLiteStats* stats, const RouteSolution* w
       timed_out = true;
       break;
     }
+    if (options_.cancel_flag != nullptr &&
+        options_.cancel_flag->load(std::memory_order_relaxed)) {
+      timed_out = true;
+      break;
+    }
     // Negotiation: bump history on overflowed edges, then reroute the nets
     // crossing them.
     std::vector<bool> edge_over(history_.size(), false);

@@ -9,6 +9,8 @@
 // Soft capacity makes edges expensive *before* they saturate, which is the
 // detailed-routability device SPRoute 2.0 adds over plain PathFinder.
 
+#include <atomic>
+
 #include "design/design.hpp"
 #include "eval/solution.hpp"
 
@@ -25,6 +27,10 @@ struct SpRouteLiteOptions {
   /// negotiation rounds; the initial pass always completes so the returned
   /// solution is whole. On expiry `timed_out` is set.
   double time_budget_seconds = 0.0;
+  /// Optional external cancel flag, polled at the same between-round
+  /// checkpoints as the budget (caller-owned; the serve daemon's watchdog
+  /// sets it from another thread). Reads-true behaves as a budget expiry.
+  const std::atomic<bool>* cancel_flag = nullptr;
 };
 
 struct SpRouteLiteStats {

@@ -1,0 +1,114 @@
+#pragma once
+/// \file
+/// dgr::serve wire protocol: line-delimited JSON requests and responses.
+///
+/// The daemon speaks one JSON object per line, over stdin/stdout or a Unix
+/// domain socket (serve/transport.hpp). The parse/emit layer reuses the
+/// dgr::obs JSON model, so every response is byte-deterministic for
+/// deterministic inputs and self-validates with the same parser the bench
+/// schema gate uses.
+///
+/// Request envelope (DESIGN.md §10 has the full grammar):
+///
+///   {"id":"r1","op":"load","session":"s1","design":"dgrd 1\n..."}
+///   {"id":"r2","op":"route","session":"s1","router":"dgr",
+///    "deadline_ms":500,"seed":3}
+///   {"id":"r3","op":"eco","session":"s1",
+///    "mutation":{"kind":"add_blockage","rect":[2,2,5,5],"scale":0.25}}
+///   {"id":"r4","op":"stats"}
+///   {"id":"r5","op":"ping"}   {"id":"r6","op":"shutdown"}
+///
+/// Response envelope:
+///
+///   {"id":"r2","op":"route","ok":true,"result":{...}}
+///   {"id":"r2","op":"route","ok":false,
+///    "error":{"code":"STAGE_TIMEOUT","message":"..."}}
+///
+/// Every failure path — malformed JSON, admission rejection, injected
+/// fault, mid-flight cancellation — answers with the ok:false envelope and
+/// a typed StatusCode name; the daemon never answers with free-form text
+/// and never crashes on hostile input (the serve.* chaos suite proves it).
+
+#include <string>
+
+#include "design/mutate.hpp"
+#include "obs/json.hpp"
+#include "util/status.hpp"
+
+namespace dgr::serve {
+
+/// Request verbs. Control-plane ops (ping/stats/shutdown) execute inline;
+/// data-plane ops (load/route/eco) go through the admission-controlled job
+/// queue.
+enum class Op : int { kPing, kLoad, kRoute, kEco, kStats, kShutdown };
+
+const char* op_name(Op op);
+
+/// One parsed request. Only the fields of the active `op` are meaningful.
+struct Request {
+  std::string id;  ///< echoed verbatim in the response
+  Op op = Op::kPing;
+  std::string session;  ///< session key (load/route/eco)
+
+  // ---- load ---------------------------------------------------------------
+  std::string design_text;  ///< inline .dgrd payload ("design" field)
+  std::string design_path;  ///< or a server-side file path ("path" field)
+  std::uint64_t seed = 1;   ///< context seed for the session / dgr training
+
+  // ---- route / eco --------------------------------------------------------
+  std::string router;        ///< registry name; empty = server default
+  /// Degradation fallback: empty = server default, "none" disables
+  /// degradation for this request (typed errors surface instead).
+  std::string fallback;
+  double deadline_ms = 0.0;  ///< per-request deadline; 0 = server default
+  int iterations = 0;        ///< DGR iteration override; 0 = server default
+  bool telemetry = false;    ///< record convergence telemetry
+  bool keep = true;          ///< keep the result as the session's base state
+  bool has_seed = false;     ///< a "seed" field was present
+
+  // ---- eco ----------------------------------------------------------------
+  bool has_mutation = false;
+  design::Mutation mutation;
+  /// {"mutation":{"generate":true,"seed":N}} asks the server to draw a
+  /// seeded mutation from the session's design state (load generators).
+  bool generate_mutation = false;
+  std::uint64_t mutation_seed = 1;
+};
+
+/// Parses one request line. Typed failures: kParseError (not JSON / not an
+/// object / wrong field type), kInvalidArgument (unknown op, missing
+/// required field, bad mutation payload), kFaultInjected (serve.parse chaos
+/// site). When the line carried a recoverable "id" it is returned inside
+/// the error message's envelope via `recover_request_id`.
+Result<Request> parse_request(const std::string& line);
+
+/// Best-effort id extraction from a line that failed full parsing, so the
+/// error response can still be correlated by the client. Returns "" when
+/// nothing recoverable is found.
+std::string recover_request_id(const std::string& line);
+
+/// Parses the "mutation" object of an eco request into a design::Mutation.
+Result<design::Mutation> parse_mutation(const obs::json::Value& doc);
+
+struct Response {
+  std::string id;
+  std::string op;  ///< op_name of the request (or "?" when unparseable)
+  Status status;   ///< OK => `result` is the payload; else a typed error
+  obs::json::Value result;
+};
+
+/// Serialises a response to its one-line wire form (no trailing newline).
+/// Hosts the serve.respond chaos site: an injected fault here falls back to
+/// a minimal — still well-formed — error envelope, so even a poisoned
+/// serialisation path answers valid JSON.
+std::string serialize_response(const Response& response);
+
+/// Builds the ok:false envelope for `status`.
+Response error_response(std::string id, std::string op, Status status);
+
+/// Validates the response envelope (tests + chaos suite): object with
+/// string "id"/"op", bool "ok", and exactly one of "result" (object, when
+/// ok) or "error" {code:string, message:string} (when not ok).
+bool validate_response_json(const obs::json::Value& doc, std::string* error = nullptr);
+
+}  // namespace dgr::serve

@@ -1,0 +1,204 @@
+#pragma once
+/// \file
+/// The dgr::serve daemon core: admission control, a bounded job queue,
+/// worker threads over the routing pipeline, a deadline watchdog, and
+/// graceful shutdown.
+///
+/// Request life cycle (DESIGN.md §10 has the state machine):
+///
+///   submit ── parse ──► control op? ──► answered inline (ping/stats/…)
+///              │
+///              ├─ admission: shutting down / rate limited / queue full /
+///              │             serve.enqueue fault  ──► REJECTED (typed)
+///              ▼
+///           queued ──► worker: deadline already passed ──► FAILED
+///              │                serve.dispatch fault    ──► FAILED
+///              ▼
+///           running ──► retry-on-divergence ──► degrade-on-final ──► OK
+///              │                                        │
+///              └── watchdog cancel / poisoned request ──► FAILED (typed)
+///
+/// Accounting invariant, checked by the chaos load test and reported by
+/// "stats": every submitted line is counted exactly once as succeeded,
+/// rejected (refused before the queue), or failed (accepted but answered
+/// ok:false) — offered = succeeded + rejected + failed. The daemon never
+/// crashes on a request: worker dispatch is exception-isolated, so a
+/// poisoned request becomes a typed kInternal/kInvalidDesign response, not
+/// process death.
+///
+/// Retry policy ("route"): a kNumericDivergence from the primary router is
+/// retried with a reseeded solver (seed + attempt * golden-ratio) while
+/// attempts remain — StageBudgets::degrade_on_divergence is false for
+/// non-final attempts so the divergence surfaces instead of degrading. The
+/// final attempt restores the PR 3 contract: divergence (and timeouts,
+/// resource exhaustion, injected faults) degrade to the fallback router.
+///
+/// Deadlines: deadline_ms covers queue wait + execution. The remaining
+/// time is mapped onto PipelineOptions::budgets.route_seconds (graceful,
+/// in-pipeline), and the watchdog thread sets the job's cooperative cancel
+/// flag once the absolute deadline passes (hard stop for overruns — the
+/// solver checks it every train iteration, the baselines between rounds).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "design/io.hpp"
+#include "pipeline/pipeline.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+
+namespace dgr::serve {
+
+struct ServerOptions {
+  int workers = 2;                  ///< routing worker threads
+  std::size_t queue_capacity = 16;  ///< bounded admission queue
+  /// Default per-request deadline (ms); 0 = none. A request's own
+  /// "deadline_ms" overrides.
+  double default_deadline_ms = 0.0;
+  std::string default_router = "dgr";
+  std::string fallback_router = "cugr2-lite";  ///< degradation target
+  /// DGR iteration count applied when the request does not override; 0
+  /// keeps router_options.dgr.iterations.
+  int default_iterations = 60;
+  /// Route attempts per request (>= 1); non-final attempts surface
+  /// kNumericDivergence for a reseeded retry.
+  int max_attempts = 2;
+  /// Token-bucket admission rate (requests/second); 0 disables.
+  double rate_limit_per_sec = 0.0;
+  double rate_burst = 8.0;  ///< bucket capacity
+  double watchdog_poll_ms = 2.0;
+  /// Untrusted-input caps forwarded to design::try_read_design.
+  design::DesignLimits design_limits;
+  SessionCacheOptions cache;
+  /// Base engine options; per-request fields (seed, iterations, telemetry,
+  /// budget, cancel flag) are stamped over a copy.
+  pipeline::RouterOptions router_options;
+  /// Flushed on shutdown when non-empty.
+  std::string metrics_snapshot_path;
+  std::string trace_path;  ///< Chrome trace (needs obs::set_tracing upstream)
+};
+
+class Server {
+ public:
+  /// Receives the serialized one-line response (no trailing newline). May
+  /// be invoked from a worker thread; transports serialise their writes.
+  using Sink = std::function<void(const std::string&)>;
+
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the workers and the watchdog. Idempotent.
+  void start();
+
+  /// Handles one request line. Control ops (ping/stats/shutdown) and
+  /// admission rejections answer `sink` inline on the calling thread; data
+  /// ops answer later from a worker.
+  void submit(const std::string& line, Sink sink);
+
+  /// Blocking convenience (tests, load generator): submit + wait.
+  std::string call(const std::string& line);
+
+  /// Stops the daemon. `drain` answers the queued jobs before stopping;
+  /// otherwise queued jobs are answered kCancelled and in-flight jobs get
+  /// their cancel flag set. Flushes the metrics snapshot / trace when
+  /// configured. Idempotent.
+  void shutdown(bool drain = true);
+
+  /// A "shutdown" request was received; the transport should exit its read
+  /// loop and call shutdown().
+  bool stop_requested() const { return stop_requested_.load(std::memory_order_relaxed); }
+
+  // ---- introspection (tests, stats op) -------------------------------------
+  struct Accounting {
+    std::int64_t offered = 0;
+    std::int64_t succeeded = 0;
+    std::int64_t rejected = 0;
+    std::int64_t failed = 0;
+  };
+  Accounting accounting() const;
+
+  SessionCache& sessions() { return sessions_; }
+  const ServerOptions& options() const { return options_; }
+  std::size_t queue_depth() const;
+
+ private:
+  enum class Outcome { kSucceeded, kRejected, kFailed };
+
+  struct Job {
+    Request request;
+    Sink sink;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+    /// Set by the watchdog (or cancel-all shutdown); polled cooperatively
+    /// by the routing stages through RoutingContext::cancel_flag.
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+
+  void worker_loop();
+  void watchdog_loop();
+
+  /// Single exit point for every request: classifies the outcome into the
+  /// accounting counters, observes latency, serialises, and invokes the
+  /// sink. Exactly one respond() per submitted line keeps the accounting
+  /// invariant true by construction.
+  void respond(const Job& job, Response response, Outcome outcome);
+
+  /// True when the job was admitted; false when it was rejected (already
+  /// answered).
+  bool admit(Job job);
+
+  void execute(Job& job);
+  Response handle_load(const Job& job);
+  Response handle_route(Job& job);
+  Response handle_eco(const Job& job);
+  Response handle_stats(const Request& request);
+
+  void flush_artifacts();
+
+  ServerOptions options_;
+  SessionCache sessions_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stop_workers_ = false;
+  double rate_tokens_ = 0.0;
+  std::chrono::steady_clock::time_point rate_last_;
+
+  /// What the watchdog needs from an in-flight job: where to signal the
+  /// cancellation and when. Registered for the duration of execute().
+  struct ActiveEntry {
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::chrono::steady_clock::time_point deadline;
+  };
+  std::mutex active_mu_;
+  std::vector<ActiveEntry> active_;
+  std::atomic<bool> watchdog_stop_{false};
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<int> in_flight_{0};
+
+  std::atomic<std::int64_t> offered_{0};
+  std::atomic<std::int64_t> succeeded_{0};
+  std::atomic<std::int64_t> rejected_{0};
+  std::atomic<std::int64_t> failed_{0};
+};
+
+}  // namespace dgr::serve

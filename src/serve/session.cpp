@@ -1,0 +1,146 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace dgr::serve {
+
+std::size_t estimate_design_bytes(const design::Design& design) {
+  std::size_t bytes = sizeof(design::Design);
+  for (const design::Net& net : design.nets()) {
+    bytes += sizeof(design::Net) + net.name.size() +
+             net.pins.size() * sizeof(geom::Point);
+  }
+  // Per-edge working vectors every route materialises (capacities + demand).
+  bytes += static_cast<std::size_t>(design.grid().edge_count()) * 2 * sizeof(float);
+  return bytes;
+}
+
+std::size_t estimate_solution_bytes(const eval::RouteSolution& solution) {
+  std::size_t bytes = 0;
+  for (const eval::NetRoute& net : solution.nets) {
+    bytes += sizeof(eval::NetRoute) + net.paths.size() * sizeof(dag::PatternPath);
+  }
+  return bytes;
+}
+
+pipeline::RoutingContext& Session::context(pipeline::ContextOptions options) {
+  if (ctx == nullptr) {
+    options.seed = seed;
+    ctx = std::make_unique<pipeline::RoutingContext>(*design, options);
+  }
+  return *ctx;
+}
+
+SessionCache::SessionCache(SessionCacheOptions options) : options_(options) {
+  publish_gauges_locked();
+}
+
+std::shared_ptr<Session> SessionCache::put(const std::string& name,
+                                           design::Design design, std::uint64_t seed) {
+  auto session = std::make_shared<Session>();
+  session->name = name;
+  session->seed = seed;
+  session->design = std::make_unique<design::Design>(std::move(design));
+  session->design_bytes.store(estimate_design_bytes(*session->design),
+                              std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) { return e.session->name == name; }),
+                 entries_.end());
+  entries_.push_back(Entry{session, ++seq_});
+  evict_locked(session.get());
+  publish_gauges_locked();
+  return session;
+}
+
+std::shared_ptr<Session> SessionCache::find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.session->name == name) {
+      e.last_used = ++seq_;
+      return e.session;
+    }
+  }
+  return nullptr;
+}
+
+bool SessionCache::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) { return e.session->name == name; }),
+                 entries_.end());
+  publish_gauges_locked();
+  return entries_.size() != before;
+}
+
+void SessionCache::enforce_budget() {
+  std::lock_guard<std::mutex> lock(mu_);
+  evict_locked(nullptr);
+  publish_gauges_locked();
+}
+
+std::size_t SessionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t SessionCache::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_bytes_locked();
+}
+
+std::vector<std::string> SessionCache::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const Entry& e : entries_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->last_used > b->last_used; });
+  std::vector<std::string> out;
+  out.reserve(sorted.size());
+  for (const Entry* e : sorted) out.push_back(e->session->name);
+  return out;
+}
+
+std::size_t SessionCache::memory_bytes_locked() const {
+  std::size_t total = 0;
+  for (const Entry& e : entries_) total += e.session->memory_bytes();
+  return total;
+}
+
+void SessionCache::evict_locked(const Session* keep) {
+  auto over_limits = [&] {
+    if (options_.max_sessions > 0 && entries_.size() > options_.max_sessions) return true;
+    return options_.memory_budget_bytes > 0 && entries_.size() > 1 &&
+           memory_bytes_locked() > options_.memory_budget_bytes;
+  };
+  while (over_limits()) {
+    std::size_t victim = entries_.size();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].session.get() == keep) continue;
+      if (entries_[i].last_used < oldest) {
+        oldest = entries_[i].last_used;
+        victim = i;
+      }
+    }
+    if (victim == entries_.size()) break;  // only the protected session remains
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++evictions_;
+    obs::metrics().counter("serve.cache.evictions").add(1);
+  }
+}
+
+void SessionCache::publish_gauges_locked() const {
+  obs::metrics().gauge("serve.sessions").set(static_cast<double>(entries_.size()));
+  obs::metrics().gauge("serve.cache_bytes").set(
+      static_cast<double>(memory_bytes_locked()));
+}
+
+}  // namespace dgr::serve

@@ -1,0 +1,127 @@
+#pragma once
+/// \file
+/// Session cache: parsed designs, routing contexts, and ECO engines kept
+/// warm across requests, LRU-evicted under a memory budget.
+///
+/// A session is the unit of state a client builds up with "load" and then
+/// exercises with "route"/"eco" requests. Keeping it server-side is what
+/// makes the daemon worth running: the parsed Design, the context's cached
+/// DagForest (DGR's candidate pools — the expensive part of a cold route),
+/// and the ECO engine's incremental state are all paid once per session,
+/// not once per request.
+///
+/// Concurrency: the cache map has its own mutex; each Session carries a
+/// mutex that serialises the jobs targeting it, so concurrent requests on
+/// *different* sessions run in parallel while a session's own request
+/// stream stays ordered — the property behind the workers-{1,2,4}
+/// determinism test. Sessions are handed out as shared_ptr, so eviction
+/// never pulls state out from under an in-flight job: the job keeps its
+/// reference, the cache just forgets the name.
+///
+/// Memory accounting is an estimate, not malloc truth: design bytes
+/// (pins + names + per-edge capacity vectors) + cached forest bytes
+/// (DagForest::memory_bytes) + the last route's solver high-water mark
+/// (RouterStats::solver_bytes, which includes Tape::memory_bytes) + the
+/// kept base solution. Deterministic inputs give deterministic accounting,
+/// which the eviction test relies on.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "design/design.hpp"
+#include "eco/eco.hpp"
+#include "eval/solution.hpp"
+#include "pipeline/context.hpp"
+
+namespace dgr::serve {
+
+/// Deterministic size estimates used by the cache's budget accounting.
+std::size_t estimate_design_bytes(const design::Design& design);
+std::size_t estimate_solution_bytes(const eval::RouteSolution& solution);
+
+struct Session {
+  std::string name;
+  std::uint64_t seed = 1;
+  /// Owns the design at a stable address (the context references it).
+  std::unique_ptr<design::Design> design;
+  /// Lazily built; holds the cached DagForest across requests.
+  std::unique_ptr<pipeline::RoutingContext> ctx;
+  /// Last kept ("keep":true) route solution — ECO baseline + warm starts.
+  eval::RouteSolution base;
+  /// Lazily built on the first eco request; owns the evolving DesignState.
+  std::unique_ptr<eco::EcoEngine> eco;
+  /// Serialises jobs targeting this session.
+  std::mutex mu;
+
+  // Accounting (written under mu, read by the cache under its own lock).
+  std::atomic<std::size_t> design_bytes{0};
+  std::atomic<std::size_t> forest_bytes{0};
+  std::atomic<std::size_t> solver_bytes{0};
+  std::atomic<std::size_t> solution_bytes{0};
+
+  std::size_t memory_bytes() const {
+    return design_bytes.load(std::memory_order_relaxed) +
+           forest_bytes.load(std::memory_order_relaxed) +
+           solver_bytes.load(std::memory_order_relaxed) +
+           solution_bytes.load(std::memory_order_relaxed);
+  }
+
+  /// The session's routing context, built on first use with `options`
+  /// (seed forced to the session seed). Call under `mu`.
+  pipeline::RoutingContext& context(pipeline::ContextOptions options = {});
+};
+
+struct SessionCacheOptions {
+  std::size_t max_sessions = 8;          ///< 0 = unlimited
+  std::size_t memory_budget_bytes = 0;   ///< 0 = unlimited
+};
+
+/// Named-session store with least-recently-used eviction. All methods are
+/// thread-safe. Gauges serve.sessions / serve.cache_bytes and counter
+/// serve.cache.evictions track its state.
+class SessionCache {
+ public:
+  explicit SessionCache(SessionCacheOptions options = {});
+
+  /// Inserts (or replaces) a session holding `design`, then evicts LRU
+  /// entries until the cache is inside its limits — the new session itself
+  /// is never the one evicted.
+  std::shared_ptr<Session> put(const std::string& name, design::Design design,
+                               std::uint64_t seed);
+
+  /// Looks the session up and marks it most-recently-used.
+  std::shared_ptr<Session> find(const std::string& name);
+
+  bool erase(const std::string& name);
+
+  /// Re-checks the budget after a session's accounting grew (post-route).
+  void enforce_budget();
+
+  std::size_t size() const;
+  std::size_t memory_bytes() const;
+  std::int64_t evictions() const { return evictions_; }
+  /// Cached session names, most recently used first.
+  std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<Session> session;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_locked(const Session* keep);
+  std::size_t memory_bytes_locked() const;
+  void publish_gauges_locked() const;
+
+  SessionCacheOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::uint64_t seq_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace dgr::serve

@@ -1,0 +1,197 @@
+#include "serve/transport.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+#include "util/log.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DGR_SERVE_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define DGR_SERVE_HAVE_UNIX_SOCKETS 0
+#endif
+
+namespace dgr::serve {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+extern "C" void dgr_serve_signal_handler(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+#if DGR_SERVE_HAVE_UNIX_SOCKETS
+  struct sigaction sa = {};
+  sa.sa_handler = dgr_serve_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads return EINTR -> loop exits
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+#else
+  std::signal(SIGINT, dgr_serve_signal_handler);
+  std::signal(SIGTERM, dgr_serve_signal_handler);
+#endif
+}
+
+int signal_received() { return g_signal.load(std::memory_order_relaxed); }
+
+void set_signal_received(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+std::size_t run_stdio(Server& server, std::istream& in, std::ostream& out) {
+  std::mutex write_mu;
+  std::size_t submitted = 0;
+  std::string line;
+  while (signal_received() == 0 && !server.stop_requested() && std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++submitted;
+    server.submit(line, [&write_mu, &out](const std::string& response) {
+      std::lock_guard<std::mutex> lock(write_mu);
+      out << response << '\n';
+      out.flush();
+    });
+  }
+  return submitted;
+}
+
+// ---------------------------------------------------------------------------
+// UnixSocketListener
+// ---------------------------------------------------------------------------
+
+UnixSocketListener::UnixSocketListener(Server& server) : server_(server) {}
+
+UnixSocketListener::~UnixSocketListener() { stop(); }
+
+Status UnixSocketListener::listen(const std::string& path) {
+#if !DGR_SERVE_HAVE_UNIX_SOCKETS
+  (void)path;
+  return Status(StatusCode::kInvalidArgument,
+                "unix domain sockets are not available on this platform");
+#else
+  if (listen_fd_ >= 0) {
+    return Status(StatusCode::kInvalidArgument, "listener already bound to " + path_);
+  }
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status(StatusCode::kInvalidArgument, "socket path too long: " + path);
+  }
+  path.copy(addr.sun_path, path.size());
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kInternal, "socket() failed");
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status(StatusCode::kInternal, "bind(" + path + ") failed");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return Status(StatusCode::kInternal, "listen(" + path + ") failed");
+  }
+  listen_fd_ = fd;
+  path_ = path;
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  DGR_LOG_INFO("serve: listening on %s", path_.c_str());
+  return Status();
+#endif
+}
+
+void UnixSocketListener::stop() {
+#if DGR_SERVE_HAVE_UNIX_SOCKETS
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(connections_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  if (!path_.empty()) ::unlink(path_.c_str());
+#else
+  stopping_.store(true, std::memory_order_relaxed);
+#endif
+}
+
+void UnixSocketListener::accept_loop() {
+#if DGR_SERVE_HAVE_UNIX_SOCKETS
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+#endif
+}
+
+void UnixSocketListener::serve_connection(int fd) {
+#if DGR_SERVE_HAVE_UNIX_SOCKETS
+  auto write_mu = std::make_shared<std::mutex>();
+  Server::Sink sink = [fd, write_mu](const std::string& response) {
+    std::lock_guard<std::mutex> lock(*write_mu);
+    std::string line = response;
+    line.push_back('\n');
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::send(fd, line.data() + off, line.size() - off, 0);
+      if (n <= 0) break;  // client went away; response is dropped
+      off += static_cast<std::size_t>(n);
+    }
+  };
+
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR && !stopping_.load(std::memory_order_relaxed)) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) server_.submit(line, sink);
+    }
+    buffer.erase(0, start);
+    if (server_.stop_requested()) break;
+  }
+  ::close(fd);
+#else
+  (void)fd;
+#endif
+}
+
+}  // namespace dgr::serve

@@ -1,0 +1,69 @@
+#pragma once
+/// \file
+/// dgr::serve transports: line-delimited JSON over stdin/stdout and over a
+/// Unix domain socket, plus SIGINT/SIGTERM wiring.
+///
+/// Both transports are thin: they split the byte stream into lines, hand
+/// each line to Server::submit, and serialise the (possibly out-of-order —
+/// responses carry the request id) answers onto the output with a mutex.
+/// All policy — admission, deadlines, retries, shutdown draining — lives in
+/// the Server.
+
+#include <iosfwd>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace dgr::serve {
+
+/// Installs SIGINT/SIGTERM handlers that record the signal in a process
+/// flag (async-signal-safe; no handler logic). Read loops poll
+/// signal_received() and shut the server down gracefully.
+void install_signal_handlers();
+/// The last termination signal received, or 0.
+int signal_received();
+/// Test hook: clears / fakes the signal flag.
+void set_signal_received(int sig);
+
+/// Reads request lines from `in` until EOF, a received signal, or a
+/// "shutdown" request, answering on `out` (one response per line, flushed).
+/// Returns the number of lines submitted. Does not call
+/// Server::shutdown() — the caller decides drain vs. cancel.
+std::size_t run_stdio(Server& server, std::istream& in, std::ostream& out);
+
+/// Listens on a Unix domain socket; each connection gets a reader thread
+/// feeding Server::submit with responses written back on the same
+/// connection. Failures to bind are reported through listen()'s Status.
+class UnixSocketListener {
+ public:
+  explicit UnixSocketListener(Server& server);
+  ~UnixSocketListener();
+
+  UnixSocketListener(const UnixSocketListener&) = delete;
+  UnixSocketListener& operator=(const UnixSocketListener&) = delete;
+
+  /// Binds `path` (unlinking a stale socket file first) and starts the
+  /// accept loop.
+  Status listen(const std::string& path);
+
+  /// Stops accepting, closes the listening socket, joins the connection
+  /// threads, and unlinks the socket file. Idempotent.
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Server& server_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace dgr::serve

@@ -7,6 +7,7 @@ std::string_view status_code_name(StatusCode code) {
     case StatusCode::kOk: return "OK";
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kInvalidDesign: return "INVALID_DESIGN";
     case StatusCode::kNumericDivergence: return "NUMERIC_DIVERGENCE";
     case StatusCode::kStageTimeout: return "STAGE_TIMEOUT";
     case StatusCode::kCapacityInfeasible: return "CAPACITY_INFEASIBLE";

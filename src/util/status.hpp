@@ -29,6 +29,8 @@ enum class StatusCode : int {
   kOk = 0,
   kInvalidArgument,     ///< caller error: bad sizes, missing precondition
   kParseError,          ///< malformed .dgrd input (line-numbered message)
+  kInvalidDesign,       ///< well-formed input rejected by admission limits
+                        ///< (byte/net/pin caps of untrusted-input parsing)
   kNumericDivergence,   ///< non-finite loss/gradients; retries exhausted
   kStageTimeout,        ///< a pipeline stage exceeded its wall-clock budget
   kCapacityInfeasible,  ///< no legal routing exists under the capacities

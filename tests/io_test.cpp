@@ -141,6 +141,48 @@ TEST(DgrdRejects, HostileCountsAndCoordinates) {
             StatusCode::kParseError);
 }
 
+// ---------------------------------------------------------------------------
+// DesignLimits caps (serve hardening): well-formed but oversized input is
+// kInvalidDesign — distinct from kParseError — with the exceeded cap named.
+// ---------------------------------------------------------------------------
+
+Status parse_status_limited(const std::string& text, const design::DesignLimits& limits) {
+  std::istringstream is(text);
+  return design::try_read_design(is, limits).status();
+}
+
+TEST(DgrdLimits, ByteCapRejectsOversizedInput) {
+  design::DesignLimits limits;
+  limits.max_input_bytes = 64;
+  const Status s = parse_status_limited(to_dgrd(io_design()), limits);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidDesign);
+  EXPECT_NE(s.message().find("byte cap"), std::string::npos) << s.message();
+}
+
+TEST(DgrdLimits, NetCapRejectsOversizedNetlist) {
+  design::DesignLimits limits;
+  limits.max_nets = 10;
+  const Status s = parse_status_limited(to_dgrd(io_design()), limits);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidDesign);
+  EXPECT_NE(s.message().find("net count"), std::string::npos) << s.message();
+}
+
+TEST(DgrdLimits, PinCapRejectsOversizedNetlist) {
+  design::DesignLimits limits;
+  limits.max_total_pins = 12;
+  const Status s = parse_status_limited(to_dgrd(io_design()), limits);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidDesign);
+  EXPECT_NE(s.message().find("pin count"), std::string::npos) << s.message();
+}
+
+TEST(DgrdLimits, GenerousCapsStillAccept) {
+  design::DesignLimits limits;
+  limits.max_input_bytes = 1 << 24;
+  limits.max_nets = 1 << 20;
+  limits.max_total_pins = 1 << 22;
+  EXPECT_TRUE(parse_status_limited(to_dgrd(io_design()), limits).ok());
+}
+
 TEST(DgrdRejects, MutatedDesignNeverWritesRejectableBytes) {
   // Adversarial loop: whatever the mutation model produces, the writer's
   // output must stay inside the parser's accepted language.
