@@ -1,15 +1,19 @@
-// check_bench_schema: validates BENCH_*.json artifacts against the
-// dgr-bench-v1 schema (obs::validate_bench_json, the single source of truth).
+// check_bench_schema: validates the repo's JSON artifacts against their
+// schemas — BENCH_*.json against dgr-bench-v1 (obs::validate_bench_json)
+// and FLIGHT_*.json flight-recorder dumps against dgr-flight-v1
+// (serve::validate_flight_json). The validator is picked by the document's
+// own "schema" field, so a bench file claiming the flight schema is checked
+// as one (and vice versa).
 //
 // Usage:
 //   check_bench_schema [--selftest] [file|dir ...]
 //
 // Each file argument is validated directly; each directory argument is
-// scanned (non-recursively) for BENCH_*.json. With no path arguments the
-// current directory is scanned. A scan that finds nothing is an error —
-// a silently empty scan would make the ctest wiring vacuous. --selftest
-// additionally exercises the validator against known-good and known-bad
-// documents so the gate itself is tested.
+// scanned (non-recursively) for BENCH_*.json and FLIGHT_*.json. With no
+// path arguments the current directory is scanned. A scan that finds no
+// bench artifact is an error — a silently empty scan would make the ctest
+// wiring vacuous. --selftest additionally exercises both validators
+// against known-good and known-bad documents so the gate itself is tested.
 //
 // Exit status: 0 when every check passes, 1 otherwise.
 
@@ -42,7 +46,12 @@ bool validate_file(const fs::path& path) {
     std::cerr << "FAIL " << path.string() << ": not JSON: " << error << "\n";
     return false;
   }
-  if (!dgr::obs::validate_bench_json(doc, &error)) {
+  const Value* schema = doc.find("schema");
+  const bool is_flight =
+      schema != nullptr && schema->is_string() && schema->as_string() == "dgr-flight-v1";
+  const bool valid = is_flight ? dgr::serve::validate_flight_json(doc, &error)
+                               : dgr::obs::validate_bench_json(doc, &error);
+  if (!valid) {
     std::cerr << "FAIL " << path.string() << ": " << error << "\n";
     return false;
   }
@@ -50,10 +59,18 @@ bool validate_file(const fs::path& path) {
   return true;
 }
 
-bool is_bench_artifact(const fs::path& path) {
+bool has_prefix_and_json_suffix(const fs::path& path, const char* prefix) {
   const std::string name = path.filename().string();
-  return name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+  return name.rfind(prefix, 0) == 0 && name.size() > 5 &&
          name.compare(name.size() - 5, 5, ".json") == 0;
+}
+
+bool is_bench_artifact(const fs::path& path) {
+  return has_prefix_and_json_suffix(path, "BENCH_");
+}
+
+bool is_flight_artifact(const fs::path& path) {
+  return has_prefix_and_json_suffix(path, "FLIGHT_");
 }
 
 bool selftest() {
@@ -108,7 +125,33 @@ bool selftest() {
     expect(dgr::obs::validate_bench_json(doc), false, "non-number metric");
   }
 
-  if (ok) std::cout << "ok   --selftest (4 cases)\n";
+  // Flight-recorder schema: a real recorder dump must validate, broken
+  // documents must not.
+  {
+    dgr::serve::FlightRecorder recorder(4);
+    dgr::serve::FlightRecord rec;
+    rec.set_id("r1");
+    rec.set_op("route");
+    rec.set_session("s1");
+    rec.set_fault_sites({"serve.handler"});
+    rec.latency_ms = 12.5;
+    rec.status = static_cast<int>(dgr::StatusCode::kInternal);
+    rec.attempts = 2;
+    rec.degraded = true;
+    recorder.record(rec);
+    Value doc = recorder.to_json("internal");
+    expect(dgr::serve::validate_flight_json(doc, &error), true, "flight dump");
+    if (!error.empty()) std::cerr << "  validator said: " << error << "\n";
+    doc["schema"] = "dgr-flight-v0";
+    expect(dgr::serve::validate_flight_json(doc), false, "wrong flight schema id");
+  }
+  {
+    Value doc = Value::object();
+    doc["schema"] = "dgr-flight-v1";
+    expect(dgr::serve::validate_flight_json(doc), false, "flight missing fields");
+  }
+
+  if (ok) std::cout << "ok   --selftest (7 cases)\n";
   return ok;
 }
 
@@ -137,18 +180,23 @@ int main(int argc, char** argv) {
   for (const fs::path& p : paths) {
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
-      int found = 0;
+      int bench_found = 0;
+      int flight_found = 0;
       for (const auto& entry : fs::directory_iterator(p, ec)) {
-        if (entry.is_regular_file() && is_bench_artifact(entry.path())) {
+        if (!entry.is_regular_file()) continue;
+        if (is_bench_artifact(entry.path())) {
           ok = validate_file(entry.path()) && ok;
-          ++found;
+          ++bench_found;
+        } else if (is_flight_artifact(entry.path())) {
+          ok = validate_file(entry.path()) && ok;
+          ++flight_found;
         }
       }
-      if (found == 0) {
+      if (bench_found == 0) {
         std::cerr << "FAIL " << p.string() << ": no BENCH_*.json found\n";
         ok = false;
       }
-      checked += found;
+      checked += bench_found + flight_found;
     } else {
       ok = validate_file(p) && ok;
       ++checked;

@@ -1,0 +1,287 @@
+// compare_bench: diffs two dgr-bench-v1 artifacts and fails on regression.
+//
+// Usage:
+//   compare_bench [options] baseline.json candidate.json
+//   compare_bench --selftest
+//
+// Rows are matched by "case"; every metric (and summary entry) present in
+// the baseline must be present in the candidate and must not regress by
+// more than the threshold. Direction matters: metrics whose name contains
+// "throughput", "per_sec" or "speedup" are higher-is-better (a drop is a
+// regression); everything else — latencies, wall times, overflow counts —
+// is lower-is-better (a rise is a regression). Improvements never fail.
+// A case or metric that disappears from the candidate is a regression too:
+// losing coverage must not pass silently.
+//
+// Options:
+//   --threshold PCT       default allowed regression in percent (default 5)
+//   --metric NAME=PCT     per-metric threshold override (repeatable)
+//   --higher-better NAME  force NAME to higher-is-better (repeatable)
+//   --selftest            run the built-in checks against synthetic docs
+//
+// Exit status: 0 when nothing regressed, 1 otherwise (2 on usage errors).
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dgr/dgr.hpp"
+
+namespace {
+
+using dgr::obs::json::Value;
+
+struct CompareOptions {
+  double default_threshold_pct = 5.0;
+  std::map<std::string, double> metric_thresholds;
+  std::vector<std::string> higher_better;
+};
+
+bool higher_is_better(const std::string& name, const CompareOptions& options) {
+  for (const std::string& forced : options.higher_better) {
+    if (name == forced) return true;
+  }
+  return name.find("throughput") != std::string::npos ||
+         name.find("per_sec") != std::string::npos ||
+         name.find("speedup") != std::string::npos;
+}
+
+double threshold_for(const std::string& name, const CompareOptions& options) {
+  const auto it = options.metric_thresholds.find(name);
+  return it != options.metric_thresholds.end() ? it->second
+                                               : options.default_threshold_pct;
+}
+
+/// One metric comparison; returns true when it regressed past the
+/// threshold. `label` is "case/metric" for messages.
+bool compare_metric(const std::string& label, const std::string& metric, double base,
+                    double cand, const CompareOptions& options) {
+  if (base == 0.0 && cand == 0.0) return false;
+  if (base == 0.0) {
+    // No denominator for a percentage; only flag the lower-is-better case
+    // where something that used to be free now costs.
+    const bool worse = !higher_is_better(metric, options) && cand > 0.0;
+    if (worse) {
+      std::cout << "REGRESSION " << label << ": " << base << " -> " << cand
+                << " (baseline was zero)\n";
+    }
+    return worse;
+  }
+  const double change_pct = (cand - base) / std::fabs(base) * 100.0;
+  const double regression_pct =
+      higher_is_better(metric, options) ? -change_pct : change_pct;
+  const double limit = threshold_for(metric, options);
+  if (regression_pct > limit) {
+    std::printf("REGRESSION %s: %g -> %g (%+.2f%%, limit %g%%)\n", label.c_str(), base,
+                cand, change_pct, limit);
+    return true;
+  }
+  return false;
+}
+
+const Value* find_row(const Value& doc, const std::string& case_name) {
+  const Value* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) return nullptr;
+  for (const Value& row : rows->items()) {
+    const Value* c = row.find("case");
+    if (c != nullptr && c->is_string() && c->as_string() == case_name) return &row;
+  }
+  return nullptr;
+}
+
+/// Diffs candidate against baseline; returns the number of regressions.
+int compare_docs(const Value& baseline, const Value& candidate,
+                 const CompareOptions& options) {
+  int regressions = 0;
+  int compared = 0;
+
+  const Value* rows = baseline.find("rows");
+  if (rows != nullptr && rows->is_array()) {
+    for (const Value& base_row : rows->items()) {
+      const Value* case_name = base_row.find("case");
+      if (case_name == nullptr || !case_name->is_string()) continue;
+      const Value* cand_row = find_row(candidate, case_name->as_string());
+      if (cand_row == nullptr) {
+        std::cout << "REGRESSION " << case_name->as_string()
+                  << ": case missing from candidate\n";
+        ++regressions;
+        continue;
+      }
+      const Value* base_metrics = base_row.find("metrics");
+      const Value* cand_metrics = cand_row->find("metrics");
+      if (base_metrics == nullptr || !base_metrics->is_object()) continue;
+      for (const auto& [metric, base_value] : base_metrics->members()) {
+        if (!base_value.is_number()) continue;
+        const std::string label = case_name->as_string() + "/" + metric;
+        const Value* cand_value =
+            cand_metrics != nullptr ? cand_metrics->find(metric) : nullptr;
+        if (cand_value == nullptr || !cand_value->is_number()) {
+          std::cout << "REGRESSION " << label << ": metric missing from candidate\n";
+          ++regressions;
+          continue;
+        }
+        ++compared;
+        if (compare_metric(label, metric, base_value.as_number(),
+                           cand_value->as_number(), options)) {
+          ++regressions;
+        }
+      }
+    }
+  }
+
+  const Value* base_summary = baseline.find("summary");
+  const Value* cand_summary = candidate.find("summary");
+  if (base_summary != nullptr && base_summary->is_object()) {
+    for (const auto& [metric, base_value] : base_summary->members()) {
+      if (!base_value.is_number()) continue;
+      const std::string label = "summary/" + metric;
+      const Value* cand_value =
+          cand_summary != nullptr ? cand_summary->find(metric) : nullptr;
+      if (cand_value == nullptr || !cand_value->is_number()) {
+        std::cout << "REGRESSION " << label << ": summary entry missing from candidate\n";
+        ++regressions;
+        continue;
+      }
+      ++compared;
+      if (compare_metric(label, metric, base_value.as_number(), cand_value->as_number(),
+                         options)) {
+        ++regressions;
+      }
+    }
+  }
+
+  std::cout << compared << " metric(s) compared, " << regressions << " regression(s)\n";
+  return regressions;
+}
+
+bool load_doc(const std::string& path, Value* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  if (!Value::parse(buffer.str(), out, &error)) {
+    std::cerr << path << ": not JSON: " << error << "\n";
+    return false;
+  }
+  if (!dgr::obs::validate_bench_json(*out, &error)) {
+    std::cerr << path << ": not a dgr-bench-v1 artifact: " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+Value make_doc(double latency_ms, double throughput, bool with_case2 = true) {
+  dgr::obs::BenchEmitter emitter("compare-selftest", "compare_bench self-check");
+  emitter.add_row("case1")
+      .metric("latency_ms", latency_ms)
+      .metric("throughput_per_sec", throughput);
+  if (with_case2) emitter.add_row("case2").metric("latency_ms", latency_ms * 2.0);
+  emitter.summary("speedup", 2.0);
+  return emitter.to_json();
+}
+
+bool selftest() {
+  bool ok = true;
+  auto expect = [&ok](int got, int want, const char* what) {
+    if (got != want) {
+      std::cerr << "FAIL selftest: " << what << " (got " << got << " regressions, want "
+                << want << ")\n";
+      ok = false;
+    }
+  };
+  CompareOptions options;  // 5% default
+
+  expect(compare_docs(make_doc(100, 50), make_doc(100, 50), options), 0, "identical docs");
+  expect(compare_docs(make_doc(100, 50), make_doc(150, 50), options), 2,
+         "latency +50% regresses both cases");
+  expect(compare_docs(make_doc(100, 50), make_doc(100, 25), options), 1,
+         "throughput -50% is a regression (higher-better heuristic)");
+  expect(compare_docs(make_doc(100, 50), make_doc(50, 100), options), 0,
+         "improvement on both axes passes");
+  expect(compare_docs(make_doc(100, 50), make_doc(108, 50), options), 2,
+         "+8% fails the 5% default");
+  {
+    CompareOptions loose = options;
+    loose.metric_thresholds["latency_ms"] = 20.0;
+    expect(compare_docs(make_doc(100, 50), make_doc(108, 50), loose), 0,
+           "+8% passes a 20% per-metric override");
+  }
+  expect(compare_docs(make_doc(100, 50), make_doc(100, 50, /*with_case2=*/false), options),
+         1, "missing case is a regression");
+  {
+    CompareOptions forced = options;
+    forced.higher_better.push_back("latency_ms");
+    expect(compare_docs(make_doc(100, 50), make_doc(150, 50), forced), 0,
+           "--higher-better flips the direction");
+  }
+
+  if (ok) std::cout << "ok   --selftest (8 cases)\n";
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CompareOptions options;
+  std::vector<std::string> paths;
+  bool run_selftest = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--selftest") {
+      run_selftest = true;
+    } else if (arg == "--threshold") {
+      options.default_threshold_pct = std::atof(next());
+    } else if (arg == "--metric") {
+      const std::string spec = next();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "--metric expects NAME=PCT, got '" << spec << "'\n";
+        return 2;
+      }
+      options.metric_thresholds[spec.substr(0, eq)] = std::atof(spec.c_str() + eq + 1);
+    } else if (arg == "--higher-better") {
+      options.higher_better.emplace_back(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: compare_bench [--threshold PCT] [--metric NAME=PCT]...\n"
+                   "                     [--higher-better NAME]... baseline candidate\n"
+                   "       compare_bench --selftest\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (run_selftest) {
+    if (!paths.empty()) {
+      std::cerr << "--selftest takes no paths\n";
+      return 2;
+    }
+    return selftest() ? 0 : 1;
+  }
+  if (paths.size() != 2) {
+    std::cerr << "expected exactly two artifacts (baseline candidate), got "
+              << paths.size() << "\n";
+    return 2;
+  }
+
+  Value baseline;
+  Value candidate;
+  if (!load_doc(paths[0], &baseline) || !load_doc(paths[1], &candidate)) return 2;
+  return compare_docs(baseline, candidate, options) == 0 ? 0 : 1;
+}

@@ -43,6 +43,12 @@ void usage(const char* argv0) {
                "  --cache-bytes N      session cache memory budget (default none)\n"
                "  --socket PATH        also listen on a unix domain socket\n"
                "  --metrics PATH       write a metrics snapshot on shutdown\n"
+               "  --metrics-interval S rewrite --metrics/--prometheus every S seconds\n"
+               "  --prometheus PATH    write Prometheus text exposition (scrape target)\n"
+               "  --flight PATH        flight-recorder artifact (INTERNAL/cancel/shutdown)\n"
+               "  --flight-capacity N  flight-recorder ring size (default 256)\n"
+               "  --slo-latency-ms X   SLO latency objective (default 500)\n"
+               "  --slo-availability X SLO availability target (default 0.999)\n"
                "  --trace PATH         record + write a Chrome trace on shutdown\n",
                argv0);
 }
@@ -97,6 +103,18 @@ int main(int argc, char** argv) {
       socket_path = next();
     } else if (arg == "--metrics") {
       options.metrics_snapshot_path = next();
+    } else if (arg == "--metrics-interval") {
+      options.metrics_interval_s = std::atof(next());
+    } else if (arg == "--prometheus") {
+      options.prometheus_path = next();
+    } else if (arg == "--flight") {
+      options.flight_path = next();
+    } else if (arg == "--flight-capacity") {
+      options.flight_capacity = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--slo-latency-ms") {
+      options.slo.latency_objective_ms = std::atof(next());
+    } else if (arg == "--slo-availability") {
+      options.slo.availability_target = std::atof(next());
     } else if (arg == "--trace") {
       options.trace_path = next();
     } else if (arg == "--help" || arg == "-h") {

@@ -55,6 +55,7 @@
 #include "rsmt/one_steiner.hpp"
 #include "rsmt/salt.hpp"
 #include "rsmt/steiner_tree.hpp"
+#include "serve/flight.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"

@@ -1,12 +1,14 @@
 #pragma once
 /// \file
 /// Umbrella header for the dgr::obs observability subsystem: span tracing
-/// with Chrome trace_event export, the process-wide metrics registry,
-/// solver convergence telemetry, and the unified bench emitter.
+/// with Chrome trace_event export and request-scoped trace contexts, the
+/// process-wide metrics registry with Prometheus text exposition, solver
+/// convergence telemetry, and the unified bench emitter.
 /// See DESIGN.md §8.
 
 #include "obs/bench_emitter.hpp"
 #include "obs/convergence.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"

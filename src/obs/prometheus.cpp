@@ -1,0 +1,114 @@
+#include "obs/prometheus.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+
+namespace dgr::obs {
+
+namespace {
+
+bool starts_with_any(std::string_view name, const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (name.size() >= p.size() && name.compare(0, p.size(), p) == 0) return true;
+  }
+  return false;
+}
+
+bool selected(std::string_view name, const PrometheusOptions& options) {
+  if (!options.include_prefixes.empty() && !starts_with_any(name, options.include_prefixes)) {
+    return false;
+  }
+  return !starts_with_any(name, options.exclude_prefixes);
+}
+
+void append_sample(std::string& out, const std::string& name, std::string_view labels,
+                   double value) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += json::format_number(value);
+  out += '\n';
+}
+
+void append_type(std::string& out, const std::string& name, std::string_view type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name, std::string_view prefix) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.assign(prefix);
+  if (!out.empty()) out += '_';
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_prometheus(const json::Value& snapshot, const PrometheusOptions& options) {
+  std::string out;
+  const json::Value* counters = snapshot.find("counters");
+  if (counters != nullptr && counters->is_object()) {
+    for (const auto& [name, v] : counters->members()) {
+      if (!selected(name, options)) continue;
+      const std::string prom = prometheus_name(name, options.prefix);
+      append_type(out, prom, "counter");
+      append_sample(out, prom, "", v.as_number());
+    }
+  }
+  const json::Value* gauges = snapshot.find("gauges");
+  if (gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, v] : gauges->members()) {
+      if (!selected(name, options)) continue;
+      const std::string prom = prometheus_name(name, options.prefix);
+      append_type(out, prom, "gauge");
+      append_sample(out, prom, "", v.as_number());
+    }
+  }
+  const json::Value* histograms = snapshot.find("histograms");
+  if (histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, entry] : histograms->members()) {
+      if (!selected(name, options)) continue;
+      const json::Value* bounds = entry.find("bounds");
+      const json::Value* buckets = entry.find("buckets");
+      const json::Value* count = entry.find("count");
+      if (bounds == nullptr || buckets == nullptr || count == nullptr) continue;
+      const std::string prom = prometheus_name(name, options.prefix);
+      append_type(out, prom, "histogram");
+      // Registry buckets are disjoint; Prometheus buckets are cumulative.
+      double cumulative = 0.0;
+      for (std::size_t i = 0; i < bounds->items().size(); ++i) {
+        cumulative += buckets->items()[i].as_number();
+        const std::string labels =
+            "{le=\"" + json::format_number(bounds->items()[i].as_number()) + "\"}";
+        append_sample(out, prom + "_bucket", labels, cumulative);
+      }
+      append_sample(out, prom + "_bucket", "{le=\"+Inf\"}", count->as_number());
+      append_sample(out, prom + "_count", "", count->as_number());
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text(const PrometheusOptions& options) {
+  return render_prometheus(metrics().snapshot(), options);
+}
+
+bool write_prometheus(const std::string& path, const PrometheusOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << prometheus_text(options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace dgr::obs

@@ -1,0 +1,55 @@
+#pragma once
+/// \file
+/// Prometheus text-exposition rendering of the metrics registry
+/// (DESIGN.md §8). The renderer is a pure function of a metrics snapshot,
+/// so everything the registry guarantees about snapshot determinism carries
+/// over: a deterministic workload renders byte-identical exposition text at
+/// any worker count, provided timing-derived series (latency histograms,
+/// SLO gauges) are excluded via `exclude_prefixes`.
+///
+/// Name mangling (DESIGN.md §8 has the full table): registry names are
+/// dotted (`serve.requests.offered`); Prometheus names are
+/// `<prefix>_<name with every non-[A-Za-z0-9_] byte replaced by '_'>`, e.g.
+/// `dgr_serve_requests_offered`. Histograms render in the standard
+/// cumulative form — one `_bucket{le="..."}` series per bound plus
+/// `le="+Inf"` and a `_count` — but no `_sum`: the registry deliberately
+/// keeps no floating-point sum (cross-thread FP accumulation would break
+/// snapshot determinism), and burn-rate math only needs bucket counts.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dgr::obs {
+
+struct PrometheusOptions {
+  /// Prepended to every metric name (`<prefix>_...`). Must itself be a
+  /// valid Prometheus name start; the default namespaces everything under
+  /// the daemon.
+  std::string prefix = "dgr";
+  /// When non-empty, only registry names starting with one of these render.
+  std::vector<std::string> include_prefixes;
+  /// Registry names starting with one of these are dropped (applied after
+  /// include_prefixes). Operators use this to carve timing-derived series
+  /// out of byte-determinism comparisons.
+  std::vector<std::string> exclude_prefixes;
+};
+
+/// Mangles one registry metric name into its Prometheus form.
+std::string prometheus_name(std::string_view name, std::string_view prefix = "dgr");
+
+/// Renders a `MetricsRegistry::snapshot()` document. Counters, then gauges,
+/// then histograms, names in snapshot (= lexicographic) order; each series
+/// is preceded by its `# TYPE` line.
+std::string render_prometheus(const json::Value& snapshot,
+                              const PrometheusOptions& options = {});
+
+/// render_prometheus(metrics().snapshot(), options).
+std::string prometheus_text(const PrometheusOptions& options = {});
+
+/// Writes prometheus_text() to `path`; false on I/O failure.
+bool write_prometheus(const std::string& path, const PrometheusOptions& options = {});
+
+}  // namespace dgr::obs

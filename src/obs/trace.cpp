@@ -23,8 +23,11 @@ struct TraceEvent {
   std::uint64_t ts_ns = 0;   ///< event start, absolute steady-clock ns
   std::uint64_t dur_ns = 0;  ///< 'X' events only
   double value = 0.0;        ///< 'C' events only
+  TraceContext ctx;          ///< request context at emit time (may be inactive)
   char phase = 'X';
 };
+
+thread_local TraceContext g_trace_ctx{};
 
 /// Power-of-two ring so the owner thread indexes with a mask. head_ is the
 /// monotonic count of events ever written; the owner stores the event slot
@@ -90,6 +93,7 @@ void emit_complete(const char* name, std::uint64_t start_ns, std::uint64_t end_n
   ev.name = name;
   ev.ts_ns = start_ns;
   ev.dur_ns = end_ns - start_ns;
+  ev.ctx = g_trace_ctx;
   ev.phase = 'X';
   tls_buffer().push(ev);
 }
@@ -98,6 +102,7 @@ void emit_instant(const char* name) {
   TraceEvent ev;
   ev.name = name;
   ev.ts_ns = now_ns();
+  ev.ctx = g_trace_ctx;
   ev.phase = 'i';
   tls_buffer().push(ev);
 }
@@ -107,6 +112,7 @@ void emit_counter(const char* name, double value) {
   ev.name = name;
   ev.ts_ns = now_ns();
   ev.value = value;
+  ev.ctx = g_trace_ctx;
   ev.phase = 'C';
   tls_buffer().push(ev);
 }
@@ -159,6 +165,28 @@ const char* intern(std::string_view s) {
   std::lock_guard<std::mutex> lock(st.mu);
   return st.interned.emplace(s).first->c_str();
 }
+
+std::size_t trace_ring_capacity() { return kRingCapacity; }
+
+TraceContext current_trace_context() { return g_trace_ctx; }
+
+void set_trace_context(TraceContext ctx) { g_trace_ctx = ctx; }
+
+TraceContextScope::TraceContextScope(std::string_view request, std::string_view op,
+                                     std::string_view session)
+    : prev_(g_trace_ctx) {
+  TraceContext ctx;
+  ctx.request = intern(request);
+  ctx.op = op.empty() ? nullptr : intern(op);
+  ctx.session = session.empty() ? nullptr : intern(session);
+  g_trace_ctx = ctx;
+}
+
+TraceContextScope::TraceContextScope(TraceContext adopted) : prev_(g_trace_ctx) {
+  g_trace_ctx = adopted;
+}
+
+TraceContextScope::~TraceContextScope() { g_trace_ctx = prev_; }
 
 std::string chrome_trace_json() {
   struct Flat {
@@ -217,6 +245,12 @@ std::string chrome_trace_json() {
       ev["s"] = "t";  // thread-scoped instant
     } else if (f.ev.phase == 'C') {
       ev["args"]["value"] = f.ev.value;
+    }
+    if (f.ev.ctx.active()) {
+      json::Value& args = ev["args"];
+      args["req"] = f.ev.ctx.request;
+      if (f.ev.ctx.op != nullptr) args["op"] = f.ev.ctx.op;
+      if (f.ev.ctx.session != nullptr) args["session"] = f.ev.ctx.session;
     }
     events.push_back(std::move(ev));
   }

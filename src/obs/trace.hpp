@@ -81,6 +81,51 @@ bool write_chrome_trace(const std::string& path);
 /// dynamically-composed event name (e.g. fault-site instants).
 const char* intern(std::string_view s);
 
+/// Fixed ring capacity per thread, for occupancy reporting
+/// (trace_event_count() / (threads * trace_ring_capacity())).
+std::size_t trace_ring_capacity();
+
+/// Request-scoped trace context (DESIGN.md §8). Three interned strings —
+/// request id, op, session — stamped onto every event emitted on the
+/// current thread while a TraceContextScope is live, and exported as
+/// `args.req` / `args.op` / `args.session` in the Chrome trace. Pointers
+/// must have process lifetime (string literals or intern()).
+struct TraceContext {
+  const char* request = nullptr;
+  const char* op = nullptr;
+  const char* session = nullptr;
+  bool active() const { return request != nullptr; }
+};
+
+/// The calling thread's current context ({} when none is installed).
+/// Cheap (one TLS read): `ParallelRuntime` captures it on every job submit
+/// so worker-side spans inherit the submitter's request identity.
+TraceContext current_trace_context();
+
+/// Low-level setter; prefer TraceContextScope, which restores the previous
+/// context on exit.
+void set_trace_context(TraceContext ctx);
+
+/// RAII: installs a request context on the current thread for its lifetime,
+/// restoring the previous one (contexts nest; the innermost wins). The
+/// string_view constructor interns its arguments; the TraceContext
+/// constructor adopts already-interned pointers (the propagation path).
+///
+/// Stamping happens when an event is *emitted* — at span destruction for
+/// 'X' events — so a scope must enclose the full lifetime of every span it
+/// is meant to label (the serve worker installs it around the whole job).
+class TraceContextScope {
+ public:
+  TraceContextScope(std::string_view request, std::string_view op, std::string_view session);
+  explicit TraceContextScope(TraceContext adopted);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
 /// RAII span: records a complete ('X') event covering construction to
 /// destruction on the current thread. Prefer DGR_TRACE_SCOPE.
 class TraceScope {

@@ -130,6 +130,7 @@ const char* op_name(Op op) {
     case Op::kRoute: return "route";
     case Op::kEco: return "eco";
     case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
     case Op::kShutdown: return "shutdown";
   }
   return "?";
@@ -248,6 +249,8 @@ Result<Request> parse_request(const std::string& line) {
     req.op = Op::kEco;
   } else if (op == "stats") {
     req.op = Op::kStats;
+  } else if (op == "metrics") {
+    req.op = Op::kMetrics;
   } else if (op == "shutdown") {
     req.op = Op::kShutdown;
   } else {
@@ -281,6 +284,7 @@ Result<Request> parse_request(const std::string& line) {
   req.iterations = static_cast<int>(iterations);
   DGR_RETURN_IF_ERROR(read_bool(doc, "telemetry", &req.telemetry));
   DGR_RETURN_IF_ERROR(read_bool(doc, "keep", &req.keep));
+  DGR_RETURN_IF_ERROR(read_string(doc, "format", &req.format));
 
   switch (req.op) {
     case Op::kLoad:
@@ -321,6 +325,13 @@ Result<Request> parse_request(const std::string& line) {
       req.has_mutation = true;
       break;
     }
+    case Op::kMetrics:
+      if (req.format.empty()) req.format = "json";
+      if (req.format != "json" && req.format != "prometheus") {
+        return Status(StatusCode::kInvalidArgument,
+                      "metrics 'format' must be \"json\" or \"prometheus\"");
+      }
+      break;
     default:
       break;
   }

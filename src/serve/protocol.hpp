@@ -17,6 +17,7 @@
 ///    "mutation":{"kind":"add_blockage","rect":[2,2,5,5],"scale":0.25}}
 ///   {"id":"r4","op":"stats"}
 ///   {"id":"r5","op":"ping"}   {"id":"r6","op":"shutdown"}
+///   {"id":"r7","op":"metrics","format":"prometheus"}
 ///
 /// Response envelope:
 ///
@@ -37,10 +38,10 @@
 
 namespace dgr::serve {
 
-/// Request verbs. Control-plane ops (ping/stats/shutdown) execute inline;
-/// data-plane ops (load/route/eco) go through the admission-controlled job
-/// queue.
-enum class Op : int { kPing, kLoad, kRoute, kEco, kStats, kShutdown };
+/// Request verbs. Control-plane ops (ping/stats/metrics/shutdown) execute
+/// inline; data-plane ops (load/route/eco) go through the
+/// admission-controlled job queue.
+enum class Op : int { kPing, kLoad, kRoute, kEco, kStats, kMetrics, kShutdown };
 
 const char* op_name(Op op);
 
@@ -65,6 +66,9 @@ struct Request {
   bool telemetry = false;    ///< record convergence telemetry
   bool keep = true;          ///< keep the result as the session's base state
   bool has_seed = false;     ///< a "seed" field was present
+
+  // ---- metrics ------------------------------------------------------------
+  std::string format;  ///< "json" (default) or "prometheus"
 
   // ---- eco ----------------------------------------------------------------
   bool has_mutation = false;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <future>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/registry.hpp"
 #include "util/fault.hpp"
@@ -52,10 +55,61 @@ Value attempt_to_json(const pipeline::RouteAttempt& a) {
   return v;
 }
 
+/// Quantile estimate from the fixed-bucket histogram: find the bucket the
+/// rank falls in, interpolate linearly within it (the overflow bucket
+/// reports its lower bound — there is no upper edge to interpolate to).
+/// Deterministic given the bucket counts.
+double histogram_quantile(const obs::Histogram& h, double q) {
+  const std::vector<double>& bounds = h.bounds();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) total += h.bucket(i);
+  if (total <= 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    const double in_bucket = static_cast<double>(h.bucket(i));
+    cumulative += in_bucket;
+    if (cumulative >= rank) {
+      if (i >= bounds.size()) return bounds.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac = in_bucket > 0.0 ? (rank - (cumulative - in_bucket)) / in_bucket : 1.0;
+      return lo + frac * (hi - lo);
+    }
+  }
+  return bounds.back();
+}
+
+/// Fraction of observations <= x, interpolating within the containing
+/// bucket. 1.0 on an empty histogram (no traffic = no SLO violation).
+double histogram_fraction_le(const obs::Histogram& h, double x) {
+  const std::vector<double>& bounds = h.bounds();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) total += h.bucket(i);
+  if (total <= 0) return 1.0;
+  double below = 0.0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    const double in_bucket = static_cast<double>(h.bucket(i));
+    if (x >= hi) {
+      below += in_bucket;
+    } else if (x > lo) {
+      below += in_bucket * (x - lo) / (hi - lo);
+      break;
+    } else {
+      break;
+    }
+  }
+  return below / static_cast<double>(total);
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), sessions_(options_.cache) {
+    : options_(std::move(options)),
+      sessions_(options_.cache),
+      flight_(options_.flight_capacity == 0 ? 256 : options_.flight_capacity) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.max_attempts < 1) options_.max_attempts = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
@@ -75,6 +129,10 @@ void Server::start() {
     workers_.emplace_back([this] { worker_loop(); });
   }
   watchdog_ = std::thread([this] { watchdog_loop(); });
+  if (options_.metrics_interval_s > 0.0 &&
+      (!options_.metrics_snapshot_path.empty() || !options_.prometheus_path.empty())) {
+    exporter_ = std::thread([this] { exporter_loop(); });
+  }
   DGR_LOG_INFO("serve: started %d workers, queue capacity %zu", options_.workers,
                options_.queue_capacity);
 }
@@ -108,8 +166,13 @@ void Server::respond(const Job& job, Response response, Outcome outcome) {
       obs::metrics().counter("serve.requests.failed").add(1);
       break;
   }
-  latency_histogram().observe(ms_since(job.submitted));
+  const double latency_ms = ms_since(job.submitted);
+  latency_histogram().observe(latency_ms);
+  update_slo_gauges();
   const std::string line = serialize_response(response);
+  // Flight capture after serialisation so a serve.respond fire is part of
+  // this request's record.
+  record_flight(job, response, latency_ms);
   if (job.sink) {
     try {
       job.sink(line);
@@ -119,9 +182,55 @@ void Server::respond(const Job& job, Response response, Outcome outcome) {
   }
 }
 
+void Server::update_slo_gauges() {
+  // Multiple workers may race here; every write publishes a self-consistent
+  // recent value derived from the monotonic counters, so last-wins is fine.
+  obs::Histogram& h = latency_histogram();
+  obs::MetricsRegistry& m = obs::metrics();
+  m.gauge("serve.slo.p50_ms").set(histogram_quantile(h, 0.50));
+  m.gauge("serve.slo.p99_ms").set(histogram_quantile(h, 0.99));
+  const Accounting a = accounting();
+  const std::int64_t finished = a.succeeded + a.failed;
+  const double availability =
+      finished > 0 ? static_cast<double>(a.succeeded) / static_cast<double>(finished) : 1.0;
+  m.gauge("serve.slo.availability").set(availability);
+  m.gauge("serve.slo.error_budget_burn")
+      .set((1.0 - availability) / std::max(1.0 - options_.slo.availability_target, 1e-9));
+  const double within = histogram_fraction_le(h, options_.slo.latency_objective_ms);
+  m.gauge("serve.slo.latency_within_objective").set(within);
+  m.gauge("serve.slo.latency_budget_burn")
+      .set((1.0 - within) / std::max(1.0 - options_.slo.latency_target, 1e-9));
+}
+
+void Server::record_flight(const Job& job, const Response& response, double latency_ms) {
+  FlightRecord rec;
+  rec.set_id(response.id.empty() ? "?" : response.id);
+  rec.set_op(response.op);
+  rec.set_session(job.request.session);
+  rec.status = static_cast<int>(response.status.code());
+  rec.latency_ms = latency_ms;
+  rec.attempts = job.attempts;
+  rec.degraded = job.degraded;
+  rec.cancelled =
+      job.cancel != nullptr && job.cancel->load(std::memory_order_relaxed);
+  rec.queue_depth = job.queue_depth_at_admission;
+  rec.set_fault_sites(util::fault::current_fired_sites());
+  flight_.record(rec);
+  if (options_.flight_path.empty()) return;
+  if (response.status.code() == StatusCode::kInternal) {
+    flight_.dump(options_.flight_path, "internal");
+  } else if (rec.cancelled) {
+    flight_.dump(options_.flight_path, "watchdog_cancel");
+  }
+}
+
 void Server::submit(const std::string& line, Sink sink) {
   offered_.fetch_add(1, std::memory_order_relaxed);
   obs::metrics().counter("serve.requests.offered").add(1);
+
+  // Submit-phase fires (serve.parse, serve.enqueue, serve.respond on the
+  // inline paths) land in this request's flight record.
+  util::fault::ScopedFireCollector fault_collector;
 
   Job job;
   job.sink = std::move(sink);
@@ -158,6 +267,9 @@ void Server::submit(const std::string& line, Sink sink) {
     }
     case Op::kStats:
       respond(job, handle_stats(req), Outcome::kSucceeded);
+      return;
+    case Op::kMetrics:
+      respond(job, handle_metrics(req), Outcome::kSucceeded);
       return;
     case Op::kShutdown: {
       stop_requested_.store(true, std::memory_order_relaxed);
@@ -220,6 +332,7 @@ bool Server::admit(Job job) {
       counter = "serve.admission.queue_full";
     }
     if (rejection.ok()) {
+      job.queue_depth_at_admission = static_cast<std::uint32_t>(queue_.size());
       queue_.push_back(std::move(job));
       obs::metrics().gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
       queue_cv_.notify_one();
@@ -255,6 +368,35 @@ void Server::worker_loop() {
   }
 }
 
+void Server::exporter_loop() {
+  const auto interval = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(options_.metrics_interval_s));
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (!exporter_stop_.load(std::memory_order_relaxed)) {
+    // Short poll so shutdown never waits out a long interval.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (std::chrono::steady_clock::now() < next) continue;
+    export_artifacts();
+    next += interval;
+  }
+}
+
+void Server::export_artifacts() {
+  update_slo_gauges();
+  if (!options_.metrics_snapshot_path.empty()) {
+    if (!obs::metrics().write_snapshot(options_.metrics_snapshot_path)) {
+      DGR_LOG_WARN("serve: failed to write metrics snapshot to %s",
+                   options_.metrics_snapshot_path.c_str());
+    }
+  }
+  if (!options_.prometheus_path.empty()) {
+    if (!obs::write_prometheus(options_.prometheus_path)) {
+      DGR_LOG_WARN("serve: failed to write prometheus text to %s",
+                   options_.prometheus_path.c_str());
+    }
+  }
+}
+
 void Server::watchdog_loop() {
   const auto poll = std::chrono::duration<double, std::milli>(
       options_.watchdog_poll_ms > 0.0 ? options_.watchdog_poll_ms : 2.0);
@@ -269,6 +411,20 @@ void Server::watchdog_loop() {
 }
 
 void Server::execute(Job& job) {
+  // Request-scoped trace context: every span emitted while this job runs —
+  // serve.job itself, the pipeline/kernel spans below it, and pool.job
+  // spans on ParallelRuntime workers (the pool captures the context at
+  // submit) — carries this request's id/op/session as Chrome trace args.
+  // Contexts stamp at span *emission*, so the scope is installed before
+  // serve.job and outlives every handler span. Skipped when tracing is off
+  // to keep the interner off the untraced fast path.
+  std::optional<obs::TraceContextScope> trace_ctx;
+  if (obs::tracing_enabled()) {
+    trace_ctx.emplace(job.request.id, op_name(job.request.op), job.request.session);
+  }
+  // Worker-phase fires (serve.dispatch, pipeline.*, core.*, io.parse,
+  // serve.respond — all on this thread) land in this request's record.
+  util::fault::ScopedFireCollector fault_collector;
   DGR_TRACE_SCOPE("serve.job");
   if (job.has_deadline && std::chrono::steady_clock::now() >= job.deadline) {
     respond(job,
@@ -293,6 +449,12 @@ void Server::execute(Job& job) {
   }
   Response response;
   try {
+    // Chaos site modelling a handler crash: the only way to exercise the
+    // exception-isolation path (and the flight recorder's INTERNAL dump
+    // trigger) on demand.
+    if (DGR_FAULT_POINT("serve.handler")) {
+      throw std::runtime_error("injected handler crash");
+    }
     switch (job.request.op) {
       case Op::kLoad: response = handle_load(job); break;
       case Op::kRoute: response = handle_route(job); break;
@@ -384,6 +546,7 @@ Response Server::handle_route(Job& job) {
   pipeline::RouterOptions ropts;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     attempts_run = attempt + 1;
+    job.attempts = attempts_run;  // visible to the flight record on any exit
     const bool final_attempt = attempt + 1 >= options_.max_attempts;
 
     // Per-attempt engine options: request overrides over the server base,
@@ -428,6 +591,7 @@ Response Server::handle_route(Job& job) {
     break;
   }
 
+  job.degraded = result.stats.degraded;
   if (!result.stats.status.ok()) {
     return error_response(req.id, op_name(req.op), result.stats.status);
   }
@@ -566,7 +730,36 @@ Response Server::handle_stats(const Request& req) {
   for (const std::string& name : sessions_.names()) names.push_back(name);
   r.result["sessions"] = names;
   r.result["cache_bytes"] = sessions_.memory_bytes();
+  // Trace-loss visibility: operators see dropped spans and ring pressure
+  // here instead of silently missing events in the exported timeline.
+  Value trace = Value::object();
+  trace["enabled"] = obs::tracing_enabled();
+  trace["buffered_events"] = obs::trace_event_count();
+  trace["dropped_events"] = obs::trace_dropped();
+  trace["ring_capacity"] = obs::trace_ring_capacity();
+  r.result["trace"] = trace;
+  Value flight = Value::object();
+  flight["capacity"] = flight_.capacity();
+  flight["occupancy"] = flight_.size();
+  flight["recorded"] = flight_.total();
+  flight["dumps"] = flight_.dumps();
+  r.result["flight"] = flight;
   r.result["metrics"] = obs::metrics().snapshot();
+  return r;
+}
+
+Response Server::handle_metrics(const Request& req) {
+  update_slo_gauges();  // a scrape sees fresh SLO gauges even when idle
+  Response r;
+  r.id = req.id;
+  r.op = op_name(req.op);
+  r.result = Value::object();
+  r.result["format"] = req.format;
+  if (req.format == "prometheus") {
+    r.result["text"] = obs::prometheus_text();
+  } else {
+    r.result["snapshot"] = obs::metrics().snapshot();
+  }
   return r;
 }
 
@@ -585,6 +778,7 @@ void Server::shutdown(bool drain) {
       if (w.joinable()) w.join();
     }
     if (watchdog_.joinable()) watchdog_.join();
+    if (exporter_.joinable()) exporter_.join();
     return;
   }
   stop_requested_.store(true, std::memory_order_relaxed);
@@ -614,21 +808,24 @@ void Server::shutdown(bool drain) {
   }
   watchdog_stop_.store(true, std::memory_order_relaxed);
   if (watchdog_.joinable()) watchdog_.join();
+  exporter_stop_.store(true, std::memory_order_relaxed);
+  if (exporter_.joinable()) exporter_.join();
   flush_artifacts();
   DGR_LOG_INFO("serve: shutdown complete (%s)", drain ? "drained" : "cancelled");
 }
 
 void Server::flush_artifacts() {
-  if (!options_.metrics_snapshot_path.empty()) {
-    if (!obs::metrics().write_snapshot(options_.metrics_snapshot_path)) {
-      DGR_LOG_WARN("serve: failed to write metrics snapshot to %s",
-                   options_.metrics_snapshot_path.c_str());
-    }
-  }
+  export_artifacts();  // final snapshot / Prometheus state
   if (!options_.trace_path.empty()) {
     obs::set_tracing(false);
     if (!obs::write_chrome_trace(options_.trace_path)) {
       DGR_LOG_WARN("serve: failed to write trace to %s", options_.trace_path.c_str());
+    }
+  }
+  if (!options_.flight_path.empty()) {
+    if (!flight_.dump(options_.flight_path, "shutdown")) {
+      DGR_LOG_WARN("serve: failed to write flight record to %s",
+                   options_.flight_path.c_str());
     }
   }
 }

@@ -53,10 +53,25 @@
 
 #include "design/io.hpp"
 #include "pipeline/pipeline.hpp"
+#include "serve/flight.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session.hpp"
 
 namespace dgr::serve {
+
+/// Service-level objectives behind the serve.slo.* gauges (DESIGN.md §10).
+struct SloOptions {
+  /// Requests should finish within this many milliseconds...
+  double latency_objective_ms = 500.0;
+  /// ...for at least this fraction of traffic (0.99 = "p99 under
+  /// objective"). latency_budget_burn = over-objective fraction / (1 -
+  /// target): burn > 1 means the latency budget is being spent faster than
+  /// the SLO allows.
+  double latency_target = 0.99;
+  /// Required fraction of finished requests that did not fail
+  /// (rejections are load shedding, not unavailability).
+  double availability_target = 0.999;
+};
 
 struct ServerOptions {
   int workers = 2;                  ///< routing worker threads
@@ -82,9 +97,25 @@ struct ServerOptions {
   /// Base engine options; per-request fields (seed, iterations, telemetry,
   /// budget, cancel flag) are stamped over a copy.
   pipeline::RouterOptions router_options;
-  /// Flushed on shutdown when non-empty.
+  /// Flushed on shutdown when non-empty; rewritten every
+  /// metrics_interval_s while running when the exporter is on.
   std::string metrics_snapshot_path;
   std::string trace_path;  ///< Chrome trace (needs obs::set_tracing upstream)
+  /// Continuous export period in seconds; 0 keeps flush-at-shutdown only.
+  /// The exporter thread rewrites metrics_snapshot_path and
+  /// prometheus_path (whichever are set) every interval.
+  double metrics_interval_s = 0.0;
+  /// Prometheus text-exposition file (a node_exporter-style scrape target);
+  /// written by the exporter and at shutdown when non-empty.
+  std::string prometheus_path;
+  /// SLO objectives for the serve.slo.* gauges.
+  SloOptions slo;
+  /// Flight-recorder ring capacity (rounded up to a power of two).
+  std::size_t flight_capacity = 256;
+  /// Flight-recorder artifact path, dumped on any INTERNAL response, on
+  /// watchdog cancellation, and at shutdown. Empty = no dumps (the ring
+  /// still records and reports through "stats").
+  std::string flight_path;
 };
 
 class Server {
@@ -132,6 +163,7 @@ class Server {
   SessionCache& sessions() { return sessions_; }
   const ServerOptions& options() const { return options_; }
   std::size_t queue_depth() const;
+  FlightRecorder& flight() { return flight_; }
 
  private:
   enum class Outcome { kSucceeded, kRejected, kFailed };
@@ -145,10 +177,17 @@ class Server {
     /// Set by the watchdog (or cancel-all shutdown); polled cooperatively
     /// by the routing stages through RoutingContext::cancel_flag.
     std::shared_ptr<std::atomic<bool>> cancel;
+    // Flight-recorder context, filled as the request moves through its
+    // lifecycle (admission depth at enqueue, attempts/degraded by
+    // handle_route) and harvested by respond().
+    std::uint32_t queue_depth_at_admission = 0;
+    int attempts = 0;
+    bool degraded = false;
   };
 
   void worker_loop();
   void watchdog_loop();
+  void exporter_loop();
 
   /// Single exit point for every request: classifies the outcome into the
   /// accounting counters, observes latency, serialises, and invokes the
@@ -165,6 +204,17 @@ class Server {
   Response handle_route(Job& job);
   Response handle_eco(const Job& job);
   Response handle_stats(const Request& request);
+  Response handle_metrics(const Request& request);
+
+  /// Recomputes the serve.slo.* gauges from the latency histogram and the
+  /// accounting counters (cheap: one walk over ~14 buckets).
+  void update_slo_gauges();
+  /// Appends the request to the flight ring; dumps the artifact when the
+  /// response is INTERNAL or the job's cancel flag was raised.
+  void record_flight(const Job& job, const Response& response, double latency_ms);
+  /// One exporter tick: refresh SLO gauges, rewrite the snapshot /
+  /// Prometheus files.
+  void export_artifacts();
 
   void flush_artifacts();
 
@@ -188,8 +238,12 @@ class Server {
   std::vector<ActiveEntry> active_;
   std::atomic<bool> watchdog_stop_{false};
 
+  FlightRecorder flight_;
+
   std::vector<std::thread> workers_;
   std::thread watchdog_;
+  std::thread exporter_;
+  std::atomic<bool> exporter_stop_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stop_requested_{false};

@@ -32,6 +32,9 @@ Registry& registry() {
   return r;
 }
 
+/// Innermost ScopedFireCollector sink on this thread (nullptr when none).
+thread_local std::vector<std::string>* g_fire_sink = nullptr;
+
 /// Disarmed fast path: one relaxed load per DGR_FAULT_POINT.
 std::atomic<bool>& armed_flag() {
   static std::atomic<bool> flag{false};
@@ -125,7 +128,16 @@ bool should_fire(std::string_view site) {
   // any hot path).
   DGR_TRACE_INSTANT(obs::intern("fault." + std::string(site)));
   obs::metrics().counter("fault.fires").add(1);
+  if (g_fire_sink != nullptr) g_fire_sink->emplace_back(site);
   return true;
+}
+
+ScopedFireCollector::ScopedFireCollector() : prev_(g_fire_sink) { g_fire_sink = &fired_; }
+
+ScopedFireCollector::~ScopedFireCollector() { g_fire_sink = prev_; }
+
+std::vector<std::string> current_fired_sites() {
+  return g_fire_sink != nullptr ? *g_fire_sink : std::vector<std::string>{};
 }
 
 std::uint64_t hits(std::string_view site) {

@@ -71,6 +71,29 @@ class ScopedPlan {
   ScopedPlan& operator=(const ScopedPlan&) = delete;
 };
 
+/// RAII per-thread fire capture: while in scope, every fire on the
+/// *current* thread appends its site name to this collector (collectors
+/// nest; the innermost wins). The serve worker arms one per request so the
+/// flight recorder can attribute fires to the request that hit them — every
+/// compiled-in site sits on serial code paths, so the request's own thread
+/// sees all of its fires.
+class ScopedFireCollector {
+ public:
+  ScopedFireCollector();
+  ~ScopedFireCollector();
+  ScopedFireCollector(const ScopedFireCollector&) = delete;
+  ScopedFireCollector& operator=(const ScopedFireCollector&) = delete;
+  const std::vector<std::string>& fired() const { return fired_; }
+
+ private:
+  std::vector<std::string> fired_;
+  std::vector<std::string>* prev_ = nullptr;
+};
+
+/// The sites collected so far by the current thread's innermost
+/// ScopedFireCollector (empty when none is in scope).
+std::vector<std::string> current_fired_sites();
+
 }  // namespace dgr::util::fault
 
 /// Injection points compile to a plain `false` when the hooks are off, so

@@ -96,6 +96,10 @@ class Pool {
     // for a job submitted before tracing was enabled must not leak a
     // "pool.job" span into the traced window (and vice versa).
     slot.traced = obs::tracing_enabled();
+    // Request context rides the job the same way: captured once at submit so
+    // worker-side spans (pool.job and anything inside the stage bodies)
+    // carry the submitting request's identity, not a stale one.
+    slot.ctx = obs::current_trace_context();
     // Exactly `workers` participants MAY run this job: the caller plus pool
     // threads [0, workers-1). Extra pool threads left over from a larger
     // previous worker_count wake, see they are not enrolled, and go back to
@@ -148,6 +152,7 @@ class Pool {
     std::size_t chunks[kMaxStages] = {};
     std::size_t count = 0;
     bool traced = false;
+    obs::TraceContext ctx;  // submitter's request context, captured per job
     int refs = 0;  // workers currently executing this slot (guarded by mu_)
     std::atomic<std::size_t> cursor[kMaxStages] = {};
     std::atomic<std::size_t> done[kMaxStages] = {};
@@ -202,6 +207,10 @@ class Pool {
     // every worker's share of each submission (determinism is unaffected —
     // the tracer only observes).
     if (slot.traced) {
+      // Inherit the submitter's request context so this participant's
+      // pool.job span — and any span emitted inside the stage bodies — is
+      // attributed to the request that submitted the job.
+      obs::TraceContextScope ctx_scope(slot.ctx);
       DGR_TRACE_SCOPE("pool.job");
       execute_stages(slot);
     } else {

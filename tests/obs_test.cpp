@@ -211,6 +211,155 @@ TEST(ObsTrace, InternReturnsStablePointers) {
 }
 
 // ---------------------------------------------------------------------------
+// Trace contexts (request-scoped correlation, DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+/// Maps every complete span name to its args.req (empty string when the
+/// span carried no request context).
+std::map<std::string, std::string> spans_by_req(const std::string& trace_text) {
+  json::Value doc;
+  EXPECT_TRUE(json::Value::parse(trace_text, &doc));
+  std::map<std::string, std::string> out;
+  for (const json::Value& ev : doc.find("traceEvents")->items()) {
+    const json::Value* ph = ev.find("ph");
+    if (ph == nullptr || ph->as_string() != "X") continue;
+    const json::Value* args = ev.find("args");
+    const json::Value* req = args != nullptr ? args->find("req") : nullptr;
+    out[ev.find("name")->as_string()] =
+        req != nullptr ? req->as_string() : std::string();
+  }
+  return out;
+}
+
+TEST(ObsTraceContext, ScopeStampsSpansAndRestoresOnExit) {
+  if (!compiled_in()) GTEST_SKIP() << "built with DGR_OBS=OFF";
+  ObsTestGuard guard;
+  EXPECT_FALSE(current_trace_context().active());
+
+  reset_trace();
+  set_tracing(true);
+  {
+    TraceContextScope ctx("req-1", "route", "sess-1");
+    EXPECT_TRUE(current_trace_context().active());
+    { DGR_TRACE_SCOPE("test.ctx.outer"); }
+    {
+      TraceContextScope nested("req-2", "", "");
+      { DGR_TRACE_SCOPE("test.ctx.nested"); }
+    }
+    // Leaving the nested scope restores the outer request's context.
+    { DGR_TRACE_SCOPE("test.ctx.restored"); }
+  }
+  EXPECT_FALSE(current_trace_context().active());
+  { DGR_TRACE_SCOPE("test.ctx.outside"); }
+  set_tracing(false);
+
+  const std::map<std::string, std::string> by_req = spans_by_req(chrome_trace_json());
+  EXPECT_EQ(by_req.at("test.ctx.outer"), "req-1");
+  EXPECT_EQ(by_req.at("test.ctx.nested"), "req-2");
+  EXPECT_EQ(by_req.at("test.ctx.restored"), "req-1");
+  EXPECT_EQ(by_req.at("test.ctx.outside"), "");
+
+  // op/session ride along on the stamped span.
+  json::Value doc;
+  ASSERT_TRUE(json::Value::parse(chrome_trace_json(), &doc));
+  for (const json::Value& ev : doc.find("traceEvents")->items()) {
+    if (ev.find("name")->as_string() != "test.ctx.outer") continue;
+    const json::Value* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("op")->as_string(), "route");
+    EXPECT_EQ(args->find("session")->as_string(), "sess-1");
+  }
+}
+
+TEST(ObsTraceContext, ContextPropagatesToPoolWorkers) {
+  if (!compiled_in()) GTEST_SKIP() << "built with DGR_OBS=OFF";
+  ObsTestGuard guard;
+  util::set_worker_count(4);
+
+  std::atomic<std::int64_t> sink{0};
+  const auto body = [&](std::size_t i) {
+    DGR_TRACE_SCOPE("test.ctx.pool_inner");
+    double acc = static_cast<double>(i);
+    for (int k = 0; k < 4000; ++k) acc = acc * 1.0000001 + 1.0;
+    sink.fetch_add(static_cast<std::int64_t>(acc), std::memory_order_relaxed);
+  };
+  // Untraced warm-up spawns the pool threads (see SpansNestAcrossPoolWorkers).
+  util::ParallelRuntime::for_each(0, 256, body, /*grain=*/8);
+
+  reset_trace();
+  set_tracing(true);
+  {
+    TraceContextScope ctx("pool-req", "route", "pool-sess");
+    util::ParallelRuntime::for_each(0, 256, body, /*grain=*/8);
+  }
+  set_tracing(false);
+
+  // The submitter's context crosses the dispatch boundary: every pool.job
+  // span — including those on pool worker threads that never saw the scope
+  // directly — and every span nested inside one carries the request id.
+  json::Value doc;
+  ASSERT_TRUE(json::Value::parse(chrome_trace_json(), &doc));
+  std::size_t pool_jobs = 0, inner = 0;
+  for (const json::Value& ev : doc.find("traceEvents")->items()) {
+    const json::Value* ph = ev.find("ph");
+    if (ph == nullptr || ph->as_string() != "X") continue;
+    const std::string& name = ev.find("name")->as_string();
+    if (name != "pool.job" && name != "test.ctx.pool_inner") continue;
+    name == "pool.job" ? ++pool_jobs : ++inner;
+    const json::Value* args = ev.find("args");
+    ASSERT_NE(args, nullptr) << name;
+    ASSERT_NE(args->find("req"), nullptr) << name;
+    EXPECT_EQ(args->find("req")->as_string(), "pool-req") << name;
+  }
+  EXPECT_EQ(pool_jobs, 4u);
+  EXPECT_EQ(inner, 256u);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+TEST(ObsPrometheus, NameManglingTable) {
+  EXPECT_EQ(prometheus_name("serve.requests.offered"), "dgr_serve_requests_offered");
+  EXPECT_EQ(prometheus_name("serve.latency_ms"), "dgr_serve_latency_ms");
+  EXPECT_EQ(prometheus_name("route.dgr-fallback"), "dgr_route_dgr_fallback");
+  EXPECT_EQ(prometheus_name("a.b", "ns"), "ns_a_b");
+  EXPECT_EQ(prometheus_name("plain", ""), "plain");
+}
+
+TEST(ObsPrometheus, RenderMatchesGoldenText) {
+  Counter& c = metrics().counter("test.prom.count");
+  c.reset();
+  c.add(3);
+  Gauge& g = metrics().gauge("test.prom.gauge");
+  g.set(1.5);
+  Histogram& h = metrics().histogram("test.prom.hist", {1.0, 2.0});
+  h.reset();
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(5.0);  // overflow: in +Inf and _count only
+
+  PrometheusOptions options;
+  options.include_prefixes = {"test.prom."};
+  EXPECT_EQ(prometheus_text(options),
+            "# TYPE dgr_test_prom_count counter\n"
+            "dgr_test_prom_count 3\n"
+            "# TYPE dgr_test_prom_gauge gauge\n"
+            "dgr_test_prom_gauge 1.5\n"
+            "# TYPE dgr_test_prom_hist histogram\n"
+            "dgr_test_prom_hist_bucket{le=\"1\"} 1\n"
+            "dgr_test_prom_hist_bucket{le=\"2\"} 2\n"
+            "dgr_test_prom_hist_bucket{le=\"+Inf\"} 3\n"
+            "dgr_test_prom_hist_count 3\n");
+
+  // exclude_prefixes carves series out after include filtering.
+  options.exclude_prefixes = {"test.prom.hist", "test.prom.gauge"};
+  EXPECT_EQ(prometheus_text(options),
+            "# TYPE dgr_test_prom_count counter\n"
+            "dgr_test_prom_count 3\n");
+}
+
+// ---------------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------------
 

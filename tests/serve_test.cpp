@@ -13,6 +13,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -22,7 +24,8 @@
 
 #include "design/generator.hpp"
 #include "design/io.hpp"
-#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "serve/flight.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
@@ -932,6 +935,471 @@ TEST(ServeChaos, MixedLoadUnderFaultsKeepsAccountingInvariant) {
   EXPECT_EQ(obs::metrics().counter("serve.requests.succeeded").value(), a.succeeded);
   EXPECT_EQ(obs::metrics().counter("serve.requests.rejected").value(), a.rejected);
   EXPECT_EQ(obs::metrics().counter("serve.requests.failed").value(), a.failed);
+}
+
+// ---------------------------------------------------------------------------
+// Live ops telemetry: request-scoped tracing, metrics export, SLO gauges,
+// and the flight recorder (DESIGN.md §8/§10)
+// ---------------------------------------------------------------------------
+
+/// Turns tracing off and clears the rings even when a test fails mid-way.
+struct ServeTraceGuard {
+  ~ServeTraceGuard() {
+    obs::set_tracing(false);
+    obs::reset_trace();
+  }
+};
+
+// The tentpole acceptance test: a mixed multi-session load with tracing on.
+// Every span emitted under a routed request — the serve.job root on the
+// worker thread and everything dispatched to pool workers under a pool.job —
+// must carry that request's id in args.req, and no other request's.
+TEST(ServeObs, RoutedSpansCarryTheirRequestContext) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "built with DGR_OBS=OFF";
+  ServeTraceGuard guard;
+  ServerOptions options;
+  options.workers = 2;
+  options.default_iterations = 10;
+  Server server(options);
+  server.start();
+
+  const int kSessions = 3;
+  for (int s = 0; s < kSessions; ++s) {
+    ASSERT_TRUE(response_ok(expect_valid_response(
+        server.call(load_line("seed" + std::to_string(s), "s" + std::to_string(s),
+                              design_text(serve_design(60 + s, 8, 20)))))));
+  }
+
+  obs::reset_trace();
+  obs::set_tracing(true);
+  const int kRoutes = 6;
+  std::mutex mu;
+  std::vector<std::string> responses;
+  const char* routers[] = {"dgr", "cugr2-lite", "sproute-lite"};
+  for (int i = 0; i < kRoutes; ++i) {
+    RouteSpec spec;
+    spec.id = "req" + std::to_string(i);
+    spec.session = "s" + std::to_string(i % kSessions);
+    spec.router = routers[i % 3];
+    spec.seed = 5 + i;
+    server.submit(route_line(spec), [&](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu);
+      responses.push_back(line);
+    });
+  }
+  server.shutdown(true);
+  obs::set_tracing(false);
+
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(kRoutes));
+  for (const std::string& line : responses) {
+    EXPECT_TRUE(response_ok(expect_valid_response(line))) << line;
+  }
+
+  Value doc;
+  std::string error;
+  ASSERT_TRUE(Value::parse(obs::chrome_trace_json(), &doc, &error)) << error;
+  const Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Context-carrying parents: the per-request serve.job root plus every
+  // pool.job a request's stages dispatched to worker threads.
+  struct Parent {
+    double tid, lo, hi;
+    std::string req;
+  };
+  std::vector<Parent> parents;
+  std::map<std::string, int> serve_jobs_by_req;
+  for (const Value& ev : events->items()) {
+    const Value* ph = ev.find("ph");
+    if (ph == nullptr || ph->as_string() != "X") continue;
+    const std::string& name = ev.find("name")->as_string();
+    if (name != "serve.job" && name != "pool.job") continue;
+    const Value* args = ev.find("args");
+    ASSERT_NE(args, nullptr) << name << " span without request context";
+    ASSERT_NE(args->find("req"), nullptr) << name;
+    const double lo = ev.find("ts")->as_number();
+    parents.push_back({ev.find("tid")->as_number(), lo,
+                       lo + ev.find("dur")->as_number(),
+                       args->find("req")->as_string()});
+    if (name == "serve.job") ++serve_jobs_by_req[args->find("req")->as_string()];
+  }
+  // Exactly one serve.job root per routed request.
+  ASSERT_EQ(serve_jobs_by_req.size(), static_cast<std::size_t>(kRoutes));
+  for (int i = 0; i < kRoutes; ++i) {
+    EXPECT_EQ(serve_jobs_by_req["req" + std::to_string(i)], 1) << i;
+  }
+
+  // Every other span contained in a parent on the same thread must carry
+  // exactly that parent's request id. (Workers serve requests back to back
+  // on one tid; the time intervals keep the attribution unambiguous.)
+  std::size_t attributed = 0;
+  std::map<std::string, int> pipeline_runs_by_req;
+  for (const Value& ev : events->items()) {
+    const Value* ph = ev.find("ph");
+    if (ph == nullptr || ph->as_string() != "X") continue;
+    const std::string& name = ev.find("name")->as_string();
+    if (name == "serve.job" || name == "pool.job") continue;
+    const double tid = ev.find("tid")->as_number();
+    const double lo = ev.find("ts")->as_number();
+    const double hi = lo + ev.find("dur")->as_number();
+    for (const Parent& p : parents) {
+      if (tid != p.tid || lo < p.lo || hi > p.hi) continue;
+      const Value* args = ev.find("args");
+      ASSERT_NE(args, nullptr) << name << " under request " << p.req;
+      ASSERT_NE(args->find("req"), nullptr) << name;
+      EXPECT_EQ(args->find("req")->as_string(), p.req) << name;
+      ++attributed;
+      if (name == "pipeline.run") {
+        ++pipeline_runs_by_req[args->find("req")->as_string()];
+      }
+    }
+  }
+  EXPECT_GT(attributed, 0u);
+  // Every request really did drive the pipeline under its own context.
+  for (int i = 0; i < kRoutes; ++i) {
+    EXPECT_EQ(pipeline_runs_by_req["req" + std::to_string(i)], 1) << i;
+  }
+}
+
+TEST(ServeObs, StatsExposesTraceAndFlightState) {
+  ServerOptions options;
+  options.workers = 1;
+  Server server(options);
+  server.start();
+  ASSERT_TRUE(response_ok(expect_valid_response(server.call(R"({"id":"p","op":"ping"})"))));
+
+  const Value stats = expect_valid_response(server.call(R"({"id":"st","op":"stats"})"));
+  ASSERT_TRUE(response_ok(stats));
+  const Value* trace = stats.find("result")->find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_FALSE(trace->find("enabled")->as_bool());
+  EXPECT_GE(trace->find("dropped_events")->as_number(), 0.0);
+  EXPECT_EQ(trace->find("ring_capacity")->as_number(),
+            static_cast<double>(obs::trace_ring_capacity()));
+  const Value* flight = stats.find("result")->find("flight");
+  ASSERT_NE(flight, nullptr);
+  EXPECT_EQ(flight->find("capacity")->as_number(), 256.0);  // default, pow2
+  EXPECT_GE(flight->find("occupancy")->as_number(), 1.0);   // the ping
+  EXPECT_GE(flight->find("recorded")->as_number(), flight->find("occupancy")->as_number());
+  EXPECT_EQ(flight->find("dumps")->as_number(), 0.0);  // no flight_path set
+
+  server.shutdown(true);
+  expect_accounting_invariant(server);
+}
+
+TEST(ServeObs, MetricsOpServesJsonAndPrometheus) {
+  ServerOptions options;
+  options.workers = 1;
+  Server server(options);
+  server.start();
+
+  const Value json_doc =
+      expect_valid_response(server.call(R"({"id":"m1","op":"metrics"})"));
+  ASSERT_TRUE(response_ok(json_doc));
+  EXPECT_EQ(json_doc.find("result")->find("format")->as_string(), "json");
+  ASSERT_NE(json_doc.find("result")->find("snapshot"), nullptr);
+  ASSERT_NE(json_doc.find("result")->find("snapshot")->find("counters"), nullptr);
+
+  const Value prom = expect_valid_response(
+      server.call(R"({"id":"m2","op":"metrics","format":"prometheus"})"));
+  ASSERT_TRUE(response_ok(prom));
+  const std::string& text = prom.find("result")->find("text")->as_string();
+  EXPECT_NE(text.find("# TYPE dgr_serve_requests_offered counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dgr_serve_slo_availability gauge"), std::string::npos);
+  EXPECT_NE(text.find("dgr_serve_latency_ms_bucket{le=\"+Inf\"}"), std::string::npos);
+
+  const Value bad = expect_valid_response(
+      server.call(R"({"id":"m3","op":"metrics","format":"xml"})"));
+  EXPECT_FALSE(response_ok(bad));
+  EXPECT_EQ(error_code(bad), "INVALID_ARGUMENT");
+
+  server.shutdown(true);
+  expect_accounting_invariant(server);
+}
+
+TEST(ServeObs, PrometheusExportByteIdenticalAcrossWorkerCounts) {
+  std::vector<std::string> designs;
+  for (int s = 0; s < 4; ++s) designs.push_back(design_text(serve_design(80 + s, 8, 20)));
+
+  // Timing-derived series are carved out; everything left must be a pure
+  // function of the (deterministic) workload.
+  obs::PrometheusOptions po;
+  po.exclude_prefixes = {"serve.latency_ms", "serve.slo.", "serve.queue_depth"};
+
+  auto run_at = [&](int workers) {
+    obs::metrics().reset();
+    ServerOptions options;
+    options.workers = workers;
+    options.default_iterations = 12;
+    Server server(options);
+    server.start();
+    for (int s = 0; s < 4; ++s) {
+      const std::string id = "l" + std::to_string(s);
+      EXPECT_TRUE(response_ok(expect_valid_response(
+          server.call(load_line(id, "s" + std::to_string(s), designs[s], 2)))));
+    }
+    const char* routers[] = {"dgr", "cugr2-lite"};
+    for (int s = 0; s < 4; ++s) {
+      RouteSpec spec;
+      spec.id = "r" + std::to_string(s);
+      spec.session = "s" + std::to_string(s);
+      spec.router = routers[s % 2];
+      spec.seed = 21 + s;
+      EXPECT_TRUE(response_ok(expect_valid_response(server.call(route_line(spec)))));
+    }
+    server.shutdown(true);
+    return obs::prometheus_text(po);
+  };
+
+  run_at(1);  // warm-up: registers every metric name the workload touches
+  const std::string ref = run_at(1);
+  EXPECT_NE(ref.find("dgr_serve_requests_succeeded 8"), std::string::npos) << ref;
+  for (const int workers : {2, 4}) {
+    EXPECT_EQ(run_at(workers), ref) << "workers=" << workers;
+  }
+}
+
+TEST(ServeObs, SnapshotParsesMidLoadAndIsDeterministicAfterDrain) {
+  std::vector<std::string> designs;
+  for (int s = 0; s < 3; ++s) designs.push_back(design_text(serve_design(90 + s, 8, 16)));
+
+  obs::PrometheusOptions po;
+  po.exclude_prefixes = {"serve.latency_ms", "serve.slo.", "serve.queue_depth"};
+
+  auto run_at = [&](int workers) {
+    obs::metrics().reset();
+    ServerOptions options;
+    options.workers = workers;
+    options.queue_capacity = 64;
+    options.default_iterations = 10;
+    Server server(options);
+    server.start();
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_TRUE(response_ok(expect_valid_response(server.call(
+          load_line("l" + std::to_string(s), "s" + std::to_string(s), designs[s])))));
+    }
+    std::mutex mu;
+    std::vector<std::string> responses;
+    for (int i = 0; i < 12; ++i) {
+      RouteSpec spec;
+      spec.id = "r" + std::to_string(i);
+      spec.session = "s" + std::to_string(i % 3);
+      spec.seed = 31 + i;
+      server.submit(route_line(spec), [&](const std::string& line) {
+        std::lock_guard<std::mutex> lock(mu);
+        responses.push_back(line);
+      });
+    }
+    // Continuous export runs concurrently with the load: snapshots taken
+    // mid-flight must always be complete, well-formed documents.
+    for (int probe = 0; probe < 5; ++probe) {
+      Value doc;
+      std::string error;
+      EXPECT_TRUE(Value::parse(obs::metrics().snapshot_json(), &doc, &error)) << error;
+      EXPECT_NE(doc.find("counters"), nullptr);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    server.shutdown(true);
+    EXPECT_EQ(responses.size(), 12u);
+    for (const std::string& line : responses) {
+      EXPECT_TRUE(response_ok(expect_valid_response(line)));
+    }
+    return obs::render_prometheus(obs::metrics().snapshot(), po);
+  };
+
+  run_at(1);  // warm-up registers the full name set
+  const std::string ref = run_at(1);
+  for (const int workers : {2, 4}) {
+    EXPECT_EQ(run_at(workers), ref) << "workers=" << workers;
+  }
+}
+
+TEST(ServeObs, ExporterRewritesArtifactsWhileRunning) {
+  const std::string snap_path = "serve_exporter_test_snapshot.json";
+  const std::string prom_path = "serve_exporter_test_metrics.prom";
+  std::remove(snap_path.c_str());
+  std::remove(prom_path.c_str());
+
+  ServerOptions options;
+  options.workers = 1;
+  options.metrics_interval_s = 0.02;
+  options.metrics_snapshot_path = snap_path;
+  options.prometheus_path = prom_path;
+  Server server(options);
+  server.start();
+  ASSERT_TRUE(response_ok(expect_valid_response(server.call(R"({"id":"p","op":"ping"})"))));
+
+  // Both artifacts appear (and keep being rewritten) while the daemon is
+  // still up — not just at shutdown.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  auto wait_for = [&](const std::string& path) {
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::ifstream in(path);
+      if (in) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  };
+  ASSERT_TRUE(wait_for(snap_path)) << snap_path;
+  ASSERT_TRUE(wait_for(prom_path)) << prom_path;
+
+  {
+    std::ifstream in(snap_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Value doc;
+    std::string error;
+    EXPECT_TRUE(Value::parse(buffer.str(), &doc, &error)) << error;
+    EXPECT_NE(doc.find("counters"), nullptr);
+    // The exporter refreshed the SLO gauges on its tick.
+    EXPECT_NE(doc.find("gauges")->find("serve.slo.availability"), nullptr);
+  }
+  {
+    std::ifstream in(prom_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("# TYPE dgr_serve_requests_offered counter"),
+              std::string::npos);
+  }
+
+  server.shutdown(true);
+  std::remove(snap_path.c_str());
+  std::remove(prom_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(ServeFlight, RingWrapsKeepsNewestAndValidates) {
+  serve::FlightRecorder recorder(4);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  for (int i = 0; i < 6; ++i) {
+    serve::FlightRecord rec;
+    rec.set_id("r" + std::to_string(i));
+    rec.set_op("ping");
+    rec.set_session("s");
+    rec.latency_ms = 0.5 * i;
+    rec.status = static_cast<int>(StatusCode::kOk);
+    recorder.record(rec);
+  }
+  EXPECT_EQ(recorder.total(), 6u);
+  EXPECT_EQ(recorder.size(), 4u);
+
+  const Value doc = recorder.to_json("test");
+  std::string error;
+  EXPECT_TRUE(serve::validate_flight_json(doc, &error)) << error;
+  EXPECT_EQ(doc.find("recorded")->as_number(), 6.0);
+  EXPECT_EQ(doc.find("dropped")->as_number(), 2.0);  // r0, r1 overwritten
+  const Value* records = doc.find("records");
+  ASSERT_EQ(records->items().size(), 4u);
+  EXPECT_EQ(records->items().front().find("id")->as_string(), "r2");
+  EXPECT_EQ(records->items().back().find("id")->as_string(), "r5");
+  EXPECT_EQ(records->items().back().find("status")->as_string(), "OK");
+}
+
+TEST(ServeFlight, FieldSettersTruncateAndJoinSites) {
+  serve::FlightRecord rec;
+  rec.set_id(std::string(100, 'x'));  // id[] is 48 bytes incl. NUL
+  EXPECT_EQ(std::string(rec.id).size(), sizeof(rec.id) - 1);
+  rec.set_fault_sites({"serve.parse", "serve.handler"});
+  EXPECT_EQ(std::string(rec.fault_sites), "serve.parse,serve.handler");
+  EXPECT_EQ(rec.fault_fires, 2u);
+}
+
+TEST(ServeFlight, ValidatorRejectsBrokenDocuments) {
+  serve::FlightRecorder recorder(2);
+  serve::FlightRecord rec;
+  rec.set_id("r1");
+  rec.set_op("route");
+  recorder.record(rec);
+  std::string error;
+
+  {
+    Value doc = recorder.to_json("internal");
+    ASSERT_TRUE(serve::validate_flight_json(doc, &error)) << error;
+    doc["reason"] = "";
+    EXPECT_FALSE(serve::validate_flight_json(doc, &error));
+  }
+  {
+    Value doc = recorder.to_json("internal");
+    doc["records"] = Value::array();
+    Value broken = Value::object();
+    broken["id"] = "";  // empty id must be rejected
+    doc["records"].push_back(std::move(broken));
+    EXPECT_FALSE(serve::validate_flight_json(doc, &error));
+  }
+  {
+    Value doc = recorder.to_json("internal");
+    doc["capacity"] = 0;
+    EXPECT_FALSE(serve::validate_flight_json(doc, &error));
+  }
+}
+
+// The chaos leg of the tentpole: a fault-forced INTERNAL response must dump
+// a flight artifact that validates against dgr-flight-v1 and pins the blame
+// on the fired site.
+TEST(ServeChaos, HandlerCrashDumpsValidatedFlightArtifact) {
+  SKIP_WITHOUT_HOOKS();
+  const std::string path = "serve_flight_test_artifact.json";
+  std::remove(path.c_str());
+
+  ServerOptions options;
+  options.workers = 1;
+  options.default_iterations = 10;
+  options.flight_path = path;
+  options.flight_capacity = 8;
+  Server server(options);
+  server.start();
+  ASSERT_TRUE(response_ok(expect_valid_response(
+      server.call(load_line("l", "s1", design_text(serve_design(9, 6, 8)))))));
+
+  ScopedPlan chaos(FaultPlan{3, {{"serve.handler", 1.0, 1}}});
+  RouteSpec spec;
+  spec.id = "boom";
+  spec.session = "s1";
+  const Value doc = expect_valid_response(server.call(route_line(spec)));
+  EXPECT_FALSE(response_ok(doc));
+  EXPECT_EQ(error_code(doc), "INTERNAL");
+  EXPECT_GE(util::fault::fires("serve.handler"), 1u);
+
+  auto read_artifact = [&](const std::string& expected_reason) {
+    std::ifstream in(path);
+    EXPECT_TRUE(static_cast<bool>(in)) << "missing flight artifact " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Value flight;
+    std::string error;
+    EXPECT_TRUE(Value::parse(buffer.str(), &flight, &error)) << error;
+    EXPECT_TRUE(serve::validate_flight_json(flight, &error)) << error;
+    EXPECT_EQ(flight.find("reason")->as_string(), expected_reason);
+    return flight;
+  };
+
+  // The INTERNAL response triggered an immediate dump.
+  const Value flight = read_artifact("internal");
+  bool found = false;
+  for (const Value& r : flight.find("records")->items()) {
+    if (r.find("id")->as_string() != "boom") continue;
+    found = true;
+    EXPECT_EQ(r.find("op")->as_string(), "route");
+    EXPECT_EQ(r.find("session")->as_string(), "s1");
+    EXPECT_EQ(r.find("status")->as_string(), "INTERNAL");
+    EXPECT_FALSE(r.find("cancelled")->as_bool());
+    bool site_fired = false;
+    for (const Value& s : r.find("fault_sites")->items()) {
+      if (s.as_string() == "serve.handler") site_fired = true;
+    }
+    EXPECT_TRUE(site_fired) << "serve.handler missing from fault_sites";
+  }
+  EXPECT_TRUE(found) << "request 'boom' missing from flight records";
+  EXPECT_GE(server.flight().dumps(), 1u);
+
+  // Shutdown rewrites the artifact with its own reason.
+  server.shutdown(true);
+  read_artifact("shutdown");
+  expect_accounting_invariant(server);
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------
