@@ -58,6 +58,17 @@ int main() {
       // Refinement-only routers route empty when cold (see Router docs).
       row.note("cold_start", "empty_solution");
     }
+    // Composite engines (the partitioned router) report nested sub-run
+    // stats; surface each child as a stage so the artifact shows how the
+    // route stage splits across regions and the cross-boundary pass.
+    if (!r.stats.children.empty()) {
+      row.metric("children", static_cast<double>(r.stats.children.size()));
+      for (std::size_t i = 0; i < r.stats.children.size(); ++i) {
+        const pipeline::RouterStats& child = r.stats.children[i];
+        row.stage("child" + std::to_string(i) + "/" + child.router,
+                  child.total_seconds());
+      }
+    }
     // Fold the run's process-wide counters in as metrics; the registry was
     // reset above, so these are attributable to this router alone.
     const obs::json::Value snap = obs::metrics().snapshot();

@@ -33,6 +33,8 @@ void usage(const char* argv0) {
                "  --router NAME        default router (default dgr)\n"
                "  --fallback NAME      degradation fallback; 'none' disables\n"
                "  --iterations N       default DGR iterations (default 60)\n"
+               "  --partitions N       partition-parallel routing by default:\n"
+               "                       >= 2 regions per route (default off)\n"
                "  --attempts N         route attempts before degrading (default 2)\n"
                "  --rate R             admission rate limit, req/s (default off)\n"
                "  --burst N            rate-limit burst size (default 8)\n"
@@ -83,6 +85,8 @@ int main(int argc, char** argv) {
       if (options.fallback_router == "none") options.fallback_router.clear();
     } else if (arg == "--iterations") {
       options.default_iterations = std::atoi(next());
+    } else if (arg == "--partitions") {
+      options.default_partitions = std::atoi(next());
     } else if (arg == "--attempts") {
       options.max_attempts = std::atoi(next());
     } else if (arg == "--rate") {

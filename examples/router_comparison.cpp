@@ -5,10 +5,13 @@
 //
 // Usage: example_router_comparison [num_nets] [grid] [seed]
 //                                  [--trace <file>] [--metrics <file>]
+//                                  [--partitions N]
 //
 // --trace writes a Chrome trace_event JSON of the whole comparison (open in
 // chrome://tracing or https://ui.perfetto.dev); --metrics writes the obs
 // metrics-registry snapshot. Both also enable solver convergence telemetry.
+// --partitions N configures the "partitioned" row's region count (its other
+// rows stay sequential, so the table doubles as a partition-quality check).
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,12 +28,15 @@ int main(int argc, char** argv) {
 
   std::string trace_path;
   std::string metrics_path;
+  int partitions = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--partitions") == 0 && i + 1 < argc) {
+      partitions = std::atoi(argv[++i]);
     } else {
       positional.push_back(argv[i]);
     }
@@ -75,6 +81,7 @@ int main(int argc, char** argv) {
   // With observation on, also capture the per-iteration convergence series
   // (it rides along in RouterStats and as dgr.* trace counters).
   options.dgr.record_telemetry = observing;
+  if (partitions > 0) options.partition.partitions = partitions;
 
   for (const std::string& name : pipeline::registered_routers()) {
     const auto router = pipeline::make_router(name, options);

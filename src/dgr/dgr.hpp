@@ -38,6 +38,8 @@
 #include "ilp/routing_ilp.hpp"
 #include "ilp/simplex.hpp"
 #include "obs/obs.hpp"
+#include "partition/partition.hpp"
+#include "partition/router.hpp"
 #include "pipeline/adapters.hpp"
 #include "pipeline/context.hpp"
 #include "pipeline/pipeline.hpp"

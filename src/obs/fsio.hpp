@@ -1,0 +1,21 @@
+#pragma once
+/// \file
+/// Atomic file publication for live-rewritten observability artifacts.
+///
+/// The serve exporter rewrites the metrics snapshot and the Prometheus
+/// scrape target on a timer while scrapers read them concurrently; a plain
+/// ofstream truncate-then-write lets a reader observe an empty or torn
+/// file. write_file_atomic stages the content in `path + ".tmp"` and
+/// rename(2)s it into place, so readers see either the old artifact or the
+/// complete new one, never a partial write.
+
+#include <string>
+#include <string_view>
+
+namespace dgr::obs {
+
+/// Writes `content` to `path` atomically (stage + rename). Returns false
+/// on any I/O failure; the target file is left untouched in that case.
+bool write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace dgr::obs

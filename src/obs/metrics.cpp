@@ -1,10 +1,11 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
+
+#include "obs/fsio.hpp"
 
 namespace dgr::obs {
 
@@ -104,10 +105,9 @@ std::string MetricsRegistry::snapshot_json(int indent) const {
 }
 
 bool MetricsRegistry::write_snapshot(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << snapshot_json() << "\n";
-  return static_cast<bool>(out);
+  // Atomic publication: the serve exporter rewrites this file while
+  // scrapers may be mid-read.
+  return write_file_atomic(path, snapshot_json() + "\n");
 }
 
 void MetricsRegistry::reset() {

@@ -1,8 +1,8 @@
 #include "obs/prometheus.hpp"
 
 #include <cstdint>
-#include <fstream>
 
+#include "obs/fsio.hpp"
 #include "obs/metrics.hpp"
 
 namespace dgr::obs {
@@ -105,10 +105,9 @@ std::string prometheus_text(const PrometheusOptions& options) {
 }
 
 bool write_prometheus(const std::string& path, const PrometheusOptions& options) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << prometheus_text(options);
-  return static_cast<bool>(out);
+  // Atomic publication: this is a scrape target rewritten on a timer; a
+  // scraper must never observe a torn or truncated exposition.
+  return write_file_atomic(path, prometheus_text(options));
 }
 
 }  // namespace dgr::obs

@@ -1,0 +1,270 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace dgr::partition {
+
+namespace {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+/// Per-cell split weight. Congestion-aware seeding charges each cell one
+/// unit of base area plus its pin count plus half of each incident edge's
+/// committed demand; uniform seeding is encoded as an empty vector.
+std::vector<double> cell_weights(const design::Design& design,
+                                 const grid::DemandMap* committed) {
+  const grid::GCellGrid& grid = design.grid();
+  std::vector<double> w(static_cast<std::size_t>(grid.cell_count()), 1.0);
+  const std::vector<float> pins = design.pin_density();
+  for (std::size_t c = 0; c < w.size(); ++c) w[c] += pins[c];
+  if (committed != nullptr) {
+    for (grid::EdgeId e = 0; e < grid.edge_count(); ++e) {
+      const double d = committed->demand(e);
+      if (d == 0.0) continue;
+      const auto [a, b] = grid.edge_cells(e);
+      w[static_cast<std::size_t>(grid.cell_id(a))] += 0.5 * d;
+      w[static_cast<std::size_t>(grid.cell_id(b))] += 0.5 * d;
+    }
+  }
+  return w;
+}
+
+double rect_row_weight(const std::vector<double>& w, int grid_w, const Rect& r, Coord y) {
+  double s = 0.0;
+  for (Coord x = r.lo.x; x <= r.hi.x; ++x) {
+    s += w[static_cast<std::size_t>(y) * grid_w + x];
+  }
+  return s;
+}
+
+double rect_col_weight(const std::vector<double>& w, int grid_w, const Rect& r, Coord x) {
+  double s = 0.0;
+  for (Coord y = r.lo.y; y <= r.hi.y; ++y) {
+    s += w[static_cast<std::size_t>(y) * grid_w + x];
+  }
+  return s;
+}
+
+/// Splits `rect` into k tiles by recursive weighted bisection. The split
+/// coordinate minimises |prefix - (k/2)/k * total| over the legal range
+/// (both halves keep >= min_extent cells), scanning low-to-high so ties
+/// resolve to the lowest coordinate — a pure function of its inputs.
+void split_rect(const Rect& rect, int k, int min_extent,
+                const std::vector<double>& weights, int grid_w,
+                std::vector<Rect>& out) {
+  const Coord wx = static_cast<Coord>(rect.hi.x - rect.lo.x + 1);
+  const Coord wy = static_cast<Coord>(rect.hi.y - rect.lo.y + 1);
+  bool split_x = wx >= wy;  // longer axis first; ties split vertically (x)
+  if (split_x && wx < 2 * min_extent) split_x = false;
+  if (!split_x && wy < 2 * min_extent) split_x = wx >= 2 * min_extent;
+  if (k <= 1 || (wx < 2 * min_extent && wy < 2 * min_extent)) {
+    out.push_back(rect);
+    return;
+  }
+  const int kl = k / 2;
+  const int kr = k - kl;
+  const double frac = static_cast<double>(kl) / static_cast<double>(k);
+
+  const Coord lo = split_x ? rect.lo.x : rect.lo.y;
+  const Coord hi = split_x ? rect.hi.x : rect.hi.y;
+  // Cut after coordinate c: low half [lo, c], high half [c+1, hi].
+  const Coord c_min = static_cast<Coord>(lo + min_extent - 1);
+  const Coord c_max = static_cast<Coord>(hi - min_extent);
+  Coord cut = c_min;
+  if (weights.empty()) {
+    const Coord extent = static_cast<Coord>(hi - lo + 1);
+    cut = static_cast<Coord>(lo + (static_cast<long long>(extent) * kl) / k - 1);
+    cut = std::clamp(cut, c_min, c_max);
+  } else {
+    double total = 0.0;
+    for (Coord c = lo; c <= hi; ++c) {
+      total += split_x ? rect_col_weight(weights, grid_w, rect, c)
+                       : rect_row_weight(weights, grid_w, rect, c);
+    }
+    double prefix = 0.0;
+    double best = -1.0;
+    for (Coord c = lo; c <= c_max; ++c) {
+      prefix += split_x ? rect_col_weight(weights, grid_w, rect, c)
+                        : rect_row_weight(weights, grid_w, rect, c);
+      if (c < c_min) continue;
+      const double err = std::abs(prefix - frac * total);
+      if (best < 0.0 || err < best) {
+        best = err;
+        cut = c;
+      }
+    }
+  }
+
+  Rect low = rect;
+  Rect high = rect;
+  if (split_x) {
+    low.hi.x = cut;
+    high.lo.x = static_cast<Coord>(cut + 1);
+  } else {
+    low.hi.y = cut;
+    high.lo.y = static_cast<Coord>(cut + 1);
+  }
+  split_rect(low, kl, min_extent, weights, grid_w, out);
+  split_rect(high, kr, min_extent, weights, grid_w, out);
+}
+
+Rect clamp_to_grid(Rect r, const grid::GCellGrid& grid) {
+  r.lo.x = std::max<Coord>(r.lo.x, 0);
+  r.lo.y = std::max<Coord>(r.lo.y, 0);
+  r.hi.x = std::min<Coord>(r.hi.x, static_cast<Coord>(grid.width() - 1));
+  r.hi.y = std::min<Coord>(r.hi.y, static_cast<Coord>(grid.height() - 1));
+  return r;
+}
+
+}  // namespace
+
+PartitionPlan build_partition_plan(const design::Design& design,
+                                   const PartitionConfig& config,
+                                   const grid::DemandMap* committed) {
+  const grid::GCellGrid& grid = design.grid();
+  PartitionPlan plan;
+
+  const Rect full{{0, 0},
+                  {static_cast<Coord>(grid.width() - 1),
+                   static_cast<Coord>(grid.height() - 1)}};
+  const int k = std::max(1, config.partitions);
+  const int min_extent = std::max(1, config.min_region_extent);
+  std::vector<double> weights;
+  if (config.seeding == Seeding::kCongestionAware) {
+    weights = cell_weights(design, committed);
+  }
+  std::vector<Rect> cores;
+  split_rect(full, k, min_extent, weights, grid.width(), cores);
+
+  const int halo = std::max(0, config.halo);
+  plan.regions.reserve(cores.size());
+  for (const Rect& core : cores) {
+    plan.regions.push_back(Region{core, clamp_to_grid(core.inflated(halo), grid)});
+  }
+
+  plan.net_region.assign(design.net_count(), kNetLocal);
+  plan.region_nets.resize(plan.regions.size());
+  for (const std::size_t idx : design.routable_nets()) {
+    const Rect box = Rect::bounding_box(design.net(idx).pins);
+    int region = kNetCross;
+    for (std::size_t r = 0; r < plan.regions.size(); ++r) {
+      // Cores are disjoint axis-aligned tiles, so containing both corners
+      // means containing the whole box; at most one region matches.
+      if (plan.regions[r].core.contains(box.lo) && plan.regions[r].core.contains(box.hi)) {
+        region = static_cast<int>(r);
+        break;
+      }
+    }
+    if (region == kNetCross) {
+      // A net that straddles a cut but still fits one region's halo window
+      // is routed region-locally — that is what the halo margin is for.
+      // Overlapping halo traffic from the neighbouring region is resolved
+      // by the reconciliation pass; first match in region order keeps the
+      // assignment deterministic. Only nets no window can hold stay serial.
+      for (std::size_t r = 0; r < plan.regions.size(); ++r) {
+        if (plan.regions[r].halo.contains(box.lo) &&
+            plan.regions[r].halo.contains(box.hi)) {
+          region = static_cast<int>(r);
+          break;
+        }
+      }
+    }
+    plan.net_region[idx] = region;
+    if (region >= 0) {
+      plan.region_nets[static_cast<std::size_t>(region)].push_back(idx);
+    } else {
+      plan.cross_nets.push_back(idx);
+    }
+  }
+  return plan;
+}
+
+RegionSlice slice_region(const grid::GCellGrid& parent, const Region& region) {
+  RegionSlice slice;
+  slice.origin = region.halo.lo;
+  const int sw = region.halo.width() + 1;
+  const int sh = region.halo.height() + 1;
+  slice.grid = grid::GCellGrid(sw, sh, parent.layers());
+  slice.parent_edge.assign(static_cast<std::size_t>(slice.grid.edge_count()),
+                           grid::kInvalidEdge);
+  const Coord ox = slice.origin.x;
+  const Coord oy = slice.origin.y;
+  for (Coord y = 0; y < sh; ++y) {
+    for (Coord x = 0; x + 1 < sw; ++x) {
+      slice.parent_edge[static_cast<std::size_t>(slice.grid.h_edge(x, y))] =
+          parent.h_edge(static_cast<Coord>(x + ox), static_cast<Coord>(y + oy));
+    }
+  }
+  for (Coord y = 0; y + 1 < sh; ++y) {
+    for (Coord x = 0; x < sw; ++x) {
+      slice.parent_edge[static_cast<std::size_t>(slice.grid.v_edge(x, y))] =
+          parent.v_edge(static_cast<Coord>(x + ox), static_cast<Coord>(y + oy));
+    }
+  }
+  return slice;
+}
+
+std::vector<float> slice_capacities(const RegionSlice& slice,
+                                    const std::vector<float>& parent_capacities,
+                                    const grid::DemandMap* committed) {
+  std::vector<float> cap(slice.parent_edge.size(), 0.0f);
+  for (std::size_t e = 0; e < cap.size(); ++e) {
+    const grid::EdgeId pe = slice.parent_edge[e];
+    float c = parent_capacities[static_cast<std::size_t>(pe)];
+    if (committed != nullptr) c -= static_cast<float>(committed->demand(pe));
+    cap[e] = std::max(0.0f, c);
+  }
+  return cap;
+}
+
+grid::DemandMap snapshot_demand(const grid::DemandMap& parent,
+                                const RegionSlice& slice) {
+  grid::DemandMap dm(slice.grid);
+  for (std::size_t e = 0; e < slice.parent_edge.size(); ++e) {
+    const double d = parent.demand(slice.parent_edge[e]);
+    // Parent values are sums of 2^-20-quantized increments, so add()'s
+    // re-quantization is the identity and the copy is byte-exact.
+    if (d != 0.0) dm.add(static_cast<grid::EdgeId>(e), d);
+  }
+  return dm;
+}
+
+void merge_demand(grid::DemandMap& parent, const RegionSlice& slice,
+                  const grid::DemandMap& slice_demand, double sign) {
+  for (std::size_t e = 0; e < slice.parent_edge.size(); ++e) {
+    const double d = slice_demand.demand(static_cast<grid::EdgeId>(e));
+    if (d != 0.0) parent.add(slice.parent_edge[e], sign * d);
+  }
+}
+
+design::Design make_region_design(const design::Design& parent,
+                                  const RegionSlice& slice,
+                                  const std::vector<std::size_t>& net_indices,
+                                  std::string name) {
+  std::vector<design::Net> nets;
+  nets.reserve(net_indices.size());
+  for (const std::size_t idx : net_indices) {
+    design::Net net = parent.net(idx);
+    for (Point& p : net.pins) {
+      p.x = static_cast<Coord>(p.x - slice.origin.x);
+      p.y = static_cast<Coord>(p.y - slice.origin.y);
+    }
+    nets.push_back(std::move(net));
+  }
+  return design::Design(std::move(name), slice.grid, std::move(nets));
+}
+
+void translate_route(eval::NetRoute& net, const geom::Point& origin) {
+  for (dag::PatternPath& path : net.paths) {
+    for (Point& p : path.waypoints) {
+      p.x = static_cast<Coord>(p.x + origin.x);
+      p.y = static_cast<Coord>(p.y + origin.y);
+    }
+  }
+}
+
+}  // namespace dgr::partition

@@ -18,6 +18,7 @@
 
 #include "core/config.hpp"
 #include "core/solver.hpp"
+#include "partition/partition.hpp"
 #include "pipeline/router.hpp"
 #include "post/maze_refine.hpp"
 #include "routers/cugr2lite.hpp"
@@ -35,6 +36,10 @@ struct RouterOptions {
   routers::SpRouteLiteOptions sproute;       ///< "sproute-lite"
   routers::LagrangianOptions lagrangian;     ///< "lagrangian"
   post::MazeRefineOptions refine;            ///< "maze-refine"
+  /// "partitioned": tiling + region-router selection (partition/router.hpp).
+  /// partition.region_router names the leaf engine; the other members above
+  /// configure it.
+  partition::PartitionConfig partition;
 };
 
 /// DGR: builds (or reuses) the context's DAG forest, trains the

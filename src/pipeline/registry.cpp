@@ -4,6 +4,8 @@
 #include <map>
 #include <utility>
 
+#include "partition/router.hpp"
+
 namespace dgr::pipeline {
 
 namespace {
@@ -29,6 +31,14 @@ FactoryMap& factories() {
     };
     m["maze-refine"] = [](const RouterOptions& o) -> std::unique_ptr<Router> {
       return std::make_unique<MazeRefineRouter>(o.refine);
+    };
+    m["partitioned"] = [](const RouterOptions& o) -> std::unique_ptr<Router> {
+      // Ensure the plan actually partitions when selected by name: a
+      // default-constructed config requests 0 regions, which the router
+      // clamps to 1 (pure delegation) — surprising for make_router users.
+      partition::PartitionConfig cfg = o.partition;
+      if (cfg.partitions <= 1) cfg.partitions = 4;
+      return std::make_unique<partition::PartitionedRouter>(std::move(cfg), o);
     };
     return m;
   }();

@@ -77,6 +77,13 @@ struct RouterStats {
   /// degrade.
   std::vector<RouteAttempt> attempts;
 
+  /// Nested sub-run stats, in deterministic sub-run order. Used by
+  /// composite engines — the partitioned router stores one child per
+  /// region (child.router is the region engine, counters carry the region
+  /// geometry) — so harnesses can attribute the route stage's time to the
+  /// regions that produced it. Empty for the leaf routers.
+  std::vector<RouterStats> children;
+
   void add_stage(std::string stage, double seconds);
   void add_counter(std::string name, double value);
   /// Seconds of the named stage; 0 when the stage did not run.

@@ -282,6 +282,16 @@ Result<Request> parse_request(const std::string& line) {
     return Status(StatusCode::kInvalidArgument, "'iterations' out of range");
   }
   req.iterations = static_cast<int>(iterations);
+  double partitions = 0.0;
+  DGR_RETURN_IF_ERROR(read_number(doc, "partitions", &partitions, &req.has_partitions));
+  if (req.has_partitions) {
+    if (partitions < 1.0 || partitions > 64.0 ||
+        partitions != std::floor(partitions)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "'partitions' must be an integer in [1, 64]");
+    }
+    req.partitions = static_cast<int>(partitions);
+  }
   DGR_RETURN_IF_ERROR(read_bool(doc, "telemetry", &req.telemetry));
   DGR_RETURN_IF_ERROR(read_bool(doc, "keep", &req.keep));
   DGR_RETURN_IF_ERROR(read_string(doc, "format", &req.format));

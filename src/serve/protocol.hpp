@@ -63,6 +63,11 @@ struct Request {
   std::string fallback;
   double deadline_ms = 0.0;  ///< per-request deadline; 0 = server default
   int iterations = 0;        ///< DGR iteration override; 0 = server default
+  /// Partition-parallel routing: "partitions" >= 2 routes through the
+  /// "partitioned" engine with the requested router as its region router;
+  /// 1 forces sequential; 0 / absent = server default.
+  int partitions = 0;
+  bool has_partitions = false;  ///< a "partitions" field was present
   bool telemetry = false;    ///< record convergence telemetry
   bool keep = true;          ///< keep the result as the session's base state
   bool has_seed = false;     ///< a "seed" field was present

@@ -537,6 +537,22 @@ Response Server::handle_route(Job& job) {
       req.fallback.empty() ? options_.fallback_router : req.fallback;
   if (fallback == "none") fallback.clear();
 
+  // Partition-parallel routing: "partitions" >= 2 (or the server default)
+  // swaps in the partitioned engine with the requested router as its
+  // region router. The parser already bounds req.partitions to [1, 64].
+  const int partitions =
+      req.has_partitions ? req.partitions : options_.default_partitions;
+  std::string effective_router = router;
+  if (partitions >= 2 && router != "partitioned") {
+    if (router == "maze-refine") {
+      return error_response(
+          req.id, op_name(req.op),
+          Status(StatusCode::kInvalidArgument,
+                 "'partitions' cannot wrap warm-start-only router 'maze-refine'"));
+    }
+    effective_router = "partitioned";
+  }
+
   std::lock_guard<std::mutex> session_lock(session->mu);
   pipeline::RoutingContext& ctx = session->context();
   const std::uint64_t base_seed = req.has_seed ? req.seed : session->seed;
@@ -556,6 +572,10 @@ Response Server::handle_route(Job& job) {
     if (req.iterations > 0) ropts.dgr.iterations = req.iterations;
     ropts.dgr.record_telemetry = req.telemetry;
     ropts.dgr.seed = base_seed + static_cast<std::uint64_t>(attempt) * kReseedStride;
+    if (partitions >= 2) {
+      ropts.partition.partitions = partitions;
+      if (router != "partitioned") ropts.partition.region_router = router;
+    }
 
     pipeline::PipelineOptions popts;
     popts.budgets.fallback_router = fallback;
@@ -579,7 +599,7 @@ Response Server::handle_route(Job& job) {
     ctx.clear_warm_start();
     ctx.set_cancel_flag(job.cancel.get());
     pipeline::Pipeline pipe(ctx, popts);
-    result = pipe.run(router, ropts);
+    result = pipe.run(effective_router, ropts);
     ctx.set_cancel_flag(nullptr);
 
     if (result.stats.status.code() == StatusCode::kNumericDivergence && !final_attempt) {
@@ -610,6 +630,7 @@ Response Server::handle_route(Job& job) {
   r.result = Value::object();
   r.result["router"] = result.stats.router;
   r.result["seed"] = ropts.dgr.seed;
+  r.result["partitions"] = partitions >= 2 ? partitions : 1;
   r.result["degraded"] = result.stats.degraded;
   r.result["attempts"] = attempts_run;
   r.result["metrics"] = metrics_to_json(result.metrics);
@@ -744,6 +765,18 @@ Response Server::handle_stats(const Request& req) {
   flight["recorded"] = flight_.total();
   flight["dumps"] = flight_.dumps();
   r.result["flight"] = flight;
+  // Active partition configuration: what a "route" without a "partitions"
+  // field gets, and the tiling the partitioned engine would use.
+  Value part = Value::object();
+  part["default_partitions"] =
+      options_.default_partitions >= 2 ? options_.default_partitions : 1;
+  part["halo"] = options_.router_options.partition.halo;
+  part["seeding"] =
+      options_.router_options.partition.seeding == partition::Seeding::kUniform
+          ? std::string("uniform")
+          : std::string("congestion");
+  part["region_router"] = options_.router_options.partition.region_router;
+  r.result["partition"] = part;
   r.result["metrics"] = obs::metrics().snapshot();
   return r;
 }

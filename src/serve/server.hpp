@@ -84,6 +84,10 @@ struct ServerOptions {
   /// DGR iteration count applied when the request does not override; 0
   /// keeps router_options.dgr.iterations.
   int default_iterations = 60;
+  /// Partition count applied when the request carries no "partitions"
+  /// field: >= 2 routes every request through the "partitioned" engine
+  /// (the requested router becomes its region router); 0/1 = sequential.
+  int default_partitions = 0;
   /// Route attempts per request (>= 1); non-final attempts surface
   /// kNumericDivergence for a reseeded retry.
   int max_attempts = 2;

@@ -79,7 +79,7 @@ Status UnixSocketListener::listen(const std::string& path) {
   return Status(StatusCode::kInvalidArgument,
                 "unix domain sockets are not available on this platform");
 #else
-  if (listen_fd_ >= 0) {
+  if (listen_fd_.load(std::memory_order_relaxed) >= 0) {
     return Status(StatusCode::kInvalidArgument, "listener already bound to " + path_);
   }
   sockaddr_un addr = {};
@@ -103,7 +103,7 @@ Status UnixSocketListener::listen(const std::string& path) {
     ::unlink(path.c_str());
     return Status(StatusCode::kInternal, "listen(" + path + ") failed");
   }
-  listen_fd_ = fd;
+  listen_fd_.store(fd, std::memory_order_release);
   path_ = path;
   stopping_.store(false, std::memory_order_relaxed);
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -118,10 +118,10 @@ void UnixSocketListener::stop() {
     if (accept_thread_.joinable()) accept_thread_.join();
     return;
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> conns;
@@ -141,7 +141,9 @@ void UnixSocketListener::stop() {
 void UnixSocketListener::accept_loop() {
 #if DGR_SERVE_HAVE_UNIX_SOCKETS
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;  // stop() already closed the socket
+    const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load(std::memory_order_relaxed)) return;
       if (errno == EINTR) continue;

@@ -9,6 +9,7 @@
 /// All policy — admission, deadlines, retries, shutdown draining — lives in
 /// the Server.
 
+#include <atomic>
 #include <iosfwd>
 #include <string>
 #include <thread>
@@ -59,7 +60,8 @@ class UnixSocketListener {
 
   Server& server_;
   std::string path_;
-  int listen_fd_ = -1;
+  /// Written by stop() while accept_loop() reads it, hence atomic.
+  std::atomic<int> listen_fd_{-1};
   std::thread accept_thread_;
   std::mutex conn_mu_;
   std::vector<std::thread> connections_;

@@ -265,6 +265,17 @@ std::size_t worker_count() {
 
 void set_worker_count(std::size_t n) { g_override.store(n, std::memory_order_relaxed); }
 
+namespace {
+// Depth, not a flag: serial sections nest (a region job that itself opens one
+// must not re-enable pool dispatch when the inner guard unwinds).
+thread_local int g_serial_depth = 0;
+}  // namespace
+
+bool serial_section_active() { return g_serial_depth > 0; }
+
+SerialSection::SerialSection() { ++g_serial_depth; }
+SerialSection::~SerialSection() { --g_serial_depth; }
+
 namespace detail {
 
 void pool_run_stages(const RawStage* stages, std::size_t count) {

@@ -42,6 +42,23 @@ std::size_t worker_count();
 /// that check determinism across thread counts.
 void set_worker_count(std::size_t n);
 
+/// True while a SerialSection is alive on the calling thread.
+bool serial_section_active();
+
+/// RAII guard forcing every ParallelRuntime dispatch on this thread to run
+/// inline, without touching the pool. Required inside code that already
+/// executes as a pool stage function (the partition router's region jobs):
+/// the pool's single-client discipline forbids nested submissions, and the
+/// determinism contract makes inline execution bitwise identical to a pooled
+/// one, so a serial section changes scheduling, never results. Nestable.
+class SerialSection {
+ public:
+  SerialSection();
+  ~SerialSection();
+  SerialSection(const SerialSection&) = delete;
+  SerialSection& operator=(const SerialSection&) = delete;
+};
+
 namespace detail {
 
 /// Type-erased-but-cheap stage descriptor handed to the pool: a raw function
@@ -105,7 +122,7 @@ class ParallelRuntime {
                        std::size_t grain = 1024) {
     if (begin >= end) return;
     if (grain == 0) grain = 1;
-    if (end - begin <= grain || worker_count() <= 1) {
+    if (end - begin <= grain || worker_count() <= 1 || serial_section_active()) {
       for (std::size_t i = begin; i < end; ++i) fn(i);
       return;
     }
@@ -122,7 +139,7 @@ class ParallelRuntime {
                           std::size_t grain = 4096) {
     if (begin >= end) return;
     if (grain == 0) grain = 1;
-    if (end - begin <= grain || worker_count() <= 1) {
+    if (end - begin <= grain || worker_count() <= 1 || serial_section_active()) {
       fn(begin, end);
       return;
     }
@@ -145,7 +162,7 @@ class ParallelRuntime {
       return;
     } else {
       const bool all_small = ((stages.end - stages.begin <= stages.grain) && ...);
-      if (all_small || worker_count() <= 1) {
+      if (all_small || worker_count() <= 1 || serial_section_active()) {
         (run_serial(stages), ...);
         return;
       }

@@ -92,6 +92,7 @@ struct RouteSpec {
   std::uint64_t seed = 0;  ///< 0 = omit the field
   double deadline_ms = 0.0;
   int iterations = 0;
+  int partitions = 0;  ///< 0 = omit the field
   bool telemetry = false;
 };
 
@@ -105,6 +106,7 @@ std::string route_line(const RouteSpec& s) {
   if (s.seed != 0) v["seed"] = static_cast<std::int64_t>(s.seed);
   if (s.deadline_ms > 0.0) v["deadline_ms"] = s.deadline_ms;
   if (s.iterations > 0) v["iterations"] = s.iterations;
+  if (s.partitions > 0) v["partitions"] = s.partitions;
   if (s.telemetry) v["telemetry"] = true;
   return v.dump(0);
 }
@@ -225,6 +227,38 @@ TEST(ServeProtocol, MalformedAndInvalidRequestsAreTyped) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocol, PartitionsFieldParsesAndRejectsBadValues) {
+  {
+    const Result<Request> r = serve::parse_request(
+        R"({"id":"r","op":"route","session":"s","partitions":4})");
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    EXPECT_TRUE(r.value().has_partitions);
+    EXPECT_EQ(r.value().partitions, 4);
+  }
+  {
+    // Absent field: has_partitions stays false (server default applies).
+    const Result<Request> r =
+        serve::parse_request(R"({"id":"r","op":"route","session":"s"})");
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value().has_partitions);
+  }
+  // Out-of-range and non-integer values: typed kInvalidArgument.
+  for (const char* bad : {"0", "-2", "65", "2.5"}) {
+    const std::string line =
+        std::string(R"({"id":"r","op":"route","session":"s","partitions":)") +
+        bad + "}";
+    EXPECT_EQ(serve::parse_request(line).status().code(),
+              StatusCode::kInvalidArgument)
+        << bad;
+  }
+  // Type-broken field: kParseError like every other field.
+  EXPECT_EQ(serve::parse_request(
+                R"({"id":"r","op":"route","session":"s","partitions":"four"})")
+                .status()
+                .code(),
+            StatusCode::kParseError);
 }
 
 TEST(ServeProtocol, RecoverRequestIdIsBestEffort) {
@@ -430,6 +464,67 @@ TEST(ServeServer, UnknownSessionRouterAndBadDesignAreTyped) {
   EXPECT_FALSE(response_ok(rejected));
   EXPECT_EQ(error_code(rejected), "INVALID_DESIGN");
   small.shutdown(true);
+
+  server.shutdown(true);
+  expect_accounting_invariant(server);
+}
+
+TEST(ServeServer, PartitionsOptionRoutesThroughPartitionedEngine) {
+  ServerOptions options;
+  options.workers = 1;
+  options.default_iterations = 20;
+  Server server(options);
+  server.start();
+
+  const design::Design d = serve_design();
+  ASSERT_TRUE(response_ok(
+      expect_valid_response(server.call(load_line("l", "s1", design_text(d), 4)))));
+
+  // partitions >= 2 reroutes the request through the "partitioned" engine
+  // with the requested router as its region router.
+  RouteSpec part;
+  part.id = "p2";
+  part.session = "s1";
+  part.router = "cugr2-lite";
+  part.seed = 11;
+  part.partitions = 2;
+  const Value routed = expect_valid_response(server.call(route_line(part)));
+  ASSERT_TRUE(response_ok(routed)) << error_code(routed);
+  const Value* result = routed.find("result");
+  EXPECT_EQ(result->find("router")->as_string(), "partitioned");
+  EXPECT_EQ(result->find("partitions")->as_number(), 2.0);
+
+  // partitions == 1 forces a sequential route even if the server had a
+  // partitioned default.
+  RouteSpec seq;
+  seq.id = "p1";
+  seq.session = "s1";
+  seq.router = "cugr2-lite";
+  seq.partitions = 1;
+  const Value plain = expect_valid_response(server.call(route_line(seq)));
+  ASSERT_TRUE(response_ok(plain)) << error_code(plain);
+  EXPECT_EQ(plain.find("result")->find("router")->as_string(), "cugr2-lite");
+  EXPECT_EQ(plain.find("result")->find("partitions")->as_number(), 1.0);
+
+  // Warm-start-only routers cannot be wrapped in a partitioned run.
+  RouteSpec maze;
+  maze.id = "pm";
+  maze.session = "s1";
+  maze.router = "maze-refine";
+  maze.partitions = 2;
+  const Value refused = expect_valid_response(server.call(route_line(maze)));
+  EXPECT_FALSE(response_ok(refused));
+  EXPECT_EQ(error_code(refused), "INVALID_ARGUMENT");
+
+  // "stats" publishes the active partition configuration.
+  const Value stats = expect_valid_response(server.call(R"({"id":"st","op":"stats"})"));
+  ASSERT_TRUE(response_ok(stats));
+  const Value* partition = stats.find("result")->find("partition");
+  ASSERT_NE(partition, nullptr);
+  EXPECT_EQ(partition->find("default_partitions")->as_number(), 1.0);
+  EXPECT_GE(partition->find("halo")->as_number(), 0.0);
+  EXPECT_NE(partition->find("seeding"), nullptr);
+  EXPECT_NE(partition->find("region_router"), nullptr);
 
   server.shutdown(true);
   expect_accounting_invariant(server);
